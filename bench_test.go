@@ -1,0 +1,271 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// exercises the workload behind one table or figure (the full printable
+// output comes from cmd/figures); custom metrics report the headline value
+// the paper's plot shows at that point, so `go test -bench .` doubles as a
+// compact reproduction report.
+package twolayer_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"twolayer"
+)
+
+// baselines caches single-cluster reference times across benchmarks.
+var (
+	baselineMu  sync.Mutex
+	baselineMap = map[string]twolayer.Time{}
+)
+
+func singleClusterTime(b *testing.B, app twolayer.AppInfo, scale twolayer.Scale, procs int) twolayer.Time {
+	b.Helper()
+	key := fmt.Sprintf("%s/%v/%d", app.Name, scale, procs)
+	baselineMu.Lock()
+	defer baselineMu.Unlock()
+	if v, ok := baselineMap[key]; ok {
+		return v
+	}
+	res, err := twolayer.Experiment{
+		App: app, Scale: scale, Optimized: false,
+		Topo: twolayer.SingleCluster(procs), Params: twolayer.DefaultParams(),
+	}.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	baselineMap[key] = res.Elapsed
+	return res.Elapsed
+}
+
+// BenchmarkTable1 runs each application on the 32-processor all-Myrinet
+// cluster (Table 1's measurement) and reports its speedup and traffic.
+func BenchmarkTable1(b *testing.B) {
+	for _, app := range twolayer.Apps() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			t1 := singleClusterTime(b, app, twolayer.PaperScale, 1)
+			var last twolayer.Result
+			for i := 0; i < b.N; i++ {
+				res, err := twolayer.Experiment{
+					App: app, Scale: twolayer.PaperScale, Optimized: false,
+					Topo: twolayer.SingleCluster(32), Params: twolayer.DefaultParams(),
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(t1)/float64(last.Elapsed), "speedup32")
+			b.ReportMetric(float64(last.Intra.Bytes)/1e6/last.Elapsed.Seconds(), "MB/s")
+			b.ReportMetric(last.Elapsed.Seconds(), "vsec/run")
+		})
+	}
+}
+
+// BenchmarkFigure1 measures each unoptimized application's inter-cluster
+// traffic at the paper's reference setting (0.5 ms, 6 MByte/s, 4x8).
+func BenchmarkFigure1(b *testing.B) {
+	params := twolayer.DefaultParams().WithWAN(500*twolayer.Microsecond, 6.0e6)
+	for _, app := range twolayer.Apps() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			var last twolayer.Result
+			for i := 0; i < b.N; i++ {
+				res, err := twolayer.Experiment{
+					App: app, Scale: twolayer.PaperScale, Optimized: false,
+					Topo: twolayer.DAS(), Params: params,
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			secs := last.Elapsed.Seconds()
+			perCluster := float64(last.WAN.Bytes) / 4 / 1e6 / secs
+			b.ReportMetric(perCluster, "MB/s/cluster")
+			b.ReportMetric(float64(last.WAN.Messages)/4/secs, "msgs/s/cluster")
+		})
+	}
+}
+
+// BenchmarkFigure3 runs every application variant at a representative
+// mid-grid point of the paper's Figure 3 sweep (3.3 ms, 0.95 MByte/s) and
+// reports the panel's metric: speedup relative to the all-Myrinet run.
+func BenchmarkFigure3(b *testing.B) {
+	params := twolayer.DefaultParams().WithWAN(3300*twolayer.Microsecond, 0.95e6)
+	for _, app := range twolayer.Apps() {
+		variants := []bool{false}
+		if app.HasOptimized {
+			variants = append(variants, true)
+		}
+		for _, opt := range variants {
+			app, opt := app, opt
+			name := app.Name + "/unoptimized"
+			if opt {
+				name = app.Name + "/optimized"
+			}
+			b.Run(name, func(b *testing.B) {
+				tl := singleClusterTime(b, app, twolayer.PaperScale, 32)
+				var last twolayer.Result
+				for i := 0; i < b.N; i++ {
+					res, err := twolayer.Experiment{
+						App: app, Scale: twolayer.PaperScale, Optimized: opt,
+						Topo: twolayer.DAS(), Params: params,
+					}.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(twolayer.RelativeSpeedup(tl, last.Elapsed), "rel_%")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4Bandwidth measures the communication-time share at the
+// left-hand graph's harsh end (3.3 ms latency, 0.1 MByte/s).
+func BenchmarkFigure4Bandwidth(b *testing.B) {
+	benchFigure4(b, twolayer.DefaultParams().WithWAN(3300*twolayer.Microsecond, 0.1e6))
+}
+
+// BenchmarkFigure4Latency measures the communication-time share on the
+// right-hand graph (30 ms latency, 0.9 MByte/s).
+func BenchmarkFigure4Latency(b *testing.B) {
+	benchFigure4(b, twolayer.DefaultParams().WithWAN(30*twolayer.Millisecond, 0.9e6))
+}
+
+func benchFigure4(b *testing.B, params twolayer.NetworkParams) {
+	for _, app := range twolayer.Apps() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			tl := singleClusterTime(b, app, twolayer.PaperScale, 32)
+			var last twolayer.Result
+			for i := 0; i < b.N; i++ {
+				res, err := twolayer.Experiment{
+					App: app, Scale: twolayer.PaperScale, Optimized: app.HasOptimized,
+					Topo: twolayer.DAS(), Params: params,
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(twolayer.CommTimePercent(tl, last.Elapsed), "comm_%")
+		})
+	}
+}
+
+// BenchmarkGapAnalysis runs the Section 5.1 acceptable-gap post-processing
+// on a reduced Water grid (Small scale keeps the grid affordable per
+// iteration).
+func BenchmarkGapAnalysis(b *testing.B) {
+	var bwGap float64
+	for i := 0; i < b.N; i++ {
+		panels, err := twolayer.Figure3(twolayer.SmallScale, twolayer.Figure3Options{
+			Apps:       []string{"Water"},
+			Latencies:  []twolayer.Time{500 * twolayer.Microsecond},
+			Bandwidths: twolayer.PaperBandwidths,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, g := range twolayer.GapAnalysis(panels, 60) {
+			if g.Optimized {
+				bwGap = g.BandwidthGap
+			}
+		}
+	}
+	b.ReportMetric(bwGap, "bw_gap_60%")
+}
+
+// BenchmarkClusterShapes runs the Section 5.1 cluster-structure experiment:
+// the same 32 processors as 2x16, 4x8 and 8x4.
+func BenchmarkClusterShapes(b *testing.B) {
+	for _, shape := range [][2]int{{2, 16}, {4, 8}, {8, 4}} {
+		shape := shape
+		b.Run(fmt.Sprintf("%dx%d", shape[0], shape[1]), func(b *testing.B) {
+			topo, err := twolayer.Uniform(shape[0], shape[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			app, err := twolayer.AppByName("Water")
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := twolayer.DefaultParams().WithWAN(3300*twolayer.Microsecond, 0.95e6)
+			tl := singleClusterTime(b, app, twolayer.PaperScale, 32)
+			var last twolayer.Result
+			for i := 0; i < b.N; i++ {
+				res, err := twolayer.Experiment{
+					App: app, Scale: twolayer.PaperScale, Optimized: true,
+					Topo: topo, Params: params,
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(twolayer.RelativeSpeedup(tl, last.Elapsed), "rel_%")
+		})
+	}
+}
+
+// BenchmarkCollectives reproduces the Section 6 comparison: each MPI-1
+// collective, flat vs hierarchical, at 10 ms / 1 MByte/s on 8 clusters of 4.
+func BenchmarkCollectives(b *testing.B) {
+	topo, err := twolayer.Uniform(8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := twolayer.DefaultParams().WithWAN(10*twolayer.Millisecond, 1e6)
+	var results []twolayer.CollectiveResult
+	for i := 0; i < b.N; i++ {
+		results, err = twolayer.CollectiveComparison(topo, params, 64, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var best float64
+	for _, r := range results {
+		if r.Speedup > best {
+			best = r.Speedup
+		}
+	}
+	b.ReportMetric(best, "best_speedup")
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation performance: events
+// per wall-clock second while running the FFT all-to-all pattern.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	app, err := twolayer.AppByName("FFT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := twolayer.Experiment{
+			App: app, Scale: twolayer.SmallScale, Optimized: false,
+			Topo: twolayer.DAS(), Params: twolayer.DefaultParams(),
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkTable2 renders the communication-pattern/optimization metadata
+// (Table 2 is definitional, not measured; this keeps the per-table bench
+// inventory complete and guards the registry).
+func BenchmarkTable2(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = twolayer.RenderTable2()
+	}
+	if len(s) == 0 || len(twolayer.Table2()) != 6 {
+		b.Fatal("Table 2 metadata broken")
+	}
+}

@@ -1,0 +1,187 @@
+// Command figures regenerates the paper's tables and figures on the
+// simulated two-layer testbed.
+//
+// Usage:
+//
+//	figures -table1            # Table 1: single-cluster application behaviour
+//	figures -table2            # Table 2: communication patterns and optimizations
+//	figures -fig1              # Figure 1: inter-cluster volume vs messages
+//	figures -fig3              # Figure 3: the twelve speedup panels (slow!)
+//	figures -fig4              # Figure 4: communication-time percentages
+//	figures -gaps              # Section 5.1: acceptable-gap analysis
+//	figures -shapes            # Section 5.1: cluster-structure comparison
+//	figures -variability       # the paper's future work: fluctuating links
+//	figures -all               # everything
+//
+// Options: -scale tiny|small|paper (default paper), -apps Water,FFT,...,
+// -csv for machine-readable Figure 3 output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/core"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/stats"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "regenerate Table 1")
+		table2 = flag.Bool("table2", false, "regenerate Table 2")
+		fig1   = flag.Bool("fig1", false, "regenerate Figure 1")
+		fig3   = flag.Bool("fig3", false, "regenerate Figure 3 (full sweep)")
+		fig4   = flag.Bool("fig4", false, "regenerate Figure 4")
+		gaps   = flag.Bool("gaps", false, "acceptable-gap analysis (Section 5.1)")
+		shapes = flag.Bool("shapes", false, "cluster-structure study (Section 5.1)")
+		varia  = flag.Bool("variability", false, "wide-area fluctuation study (the paper's future work)")
+		all    = flag.Bool("all", false, "regenerate everything")
+		scaleF = flag.String("scale", "paper", "problem scale: tiny, small or paper")
+		appsF  = flag.String("apps", "", "comma-separated application filter (Figure 3)")
+		csv    = flag.Bool("csv", false, "emit Figure 3 as CSV")
+	)
+	flag.Parse()
+	scale, err := parseScale(*scaleF)
+	if err != nil {
+		fatal(err)
+	}
+	var filter []string
+	if *appsF != "" {
+		filter = strings.Split(*appsF, ",")
+	}
+	ran := false
+
+	if *table1 || *all {
+		ran = true
+		rows, err := core.Table1(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table 1: Single-Cluster Speedup and Traffic")
+		fmt.Println(core.RenderTable1(rows))
+	}
+	if *table2 || *all {
+		ran = true
+		fmt.Println("Table 2: Communication Patterns and Optimizations")
+		fmt.Println(core.RenderTable2())
+	}
+	if *fig1 || *all {
+		ran = true
+		points, err := core.Figure1(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 1: Inter-cluster traffic, 4 clusters, 32 processors")
+		fmt.Println("(link: latency 0.5 ms, bandwidth 6.0 MByte/s; unoptimized programs)")
+		fmt.Println(core.RenderFigure1(points))
+	}
+	var panels []core.Figure3Panel
+	if *fig3 || *gaps || *all {
+		panels, err = core.Figure3(scale, core.Figure3Options{Apps: filter})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *fig3 || *all {
+		ran = true
+		fmt.Println("Figure 3: Speedup relative to an all-Myrinet cluster (percent)")
+		for _, p := range panels {
+			if *csv {
+				renderCSV(p)
+			} else {
+				fmt.Println(core.RenderFigure3Panel(p))
+			}
+		}
+	}
+	if *fig4 || *all {
+		ran = true
+		bw, err := core.Figure4Bandwidth(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 4 (left): inter-cluster communication time vs bandwidth at 3.3 ms")
+		fmt.Println(core.RenderFigure4(bw, "bandwidth B/s"))
+		lat, err := core.Figure4Latency(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 4 (right): inter-cluster communication time vs latency at 0.9 MByte/s")
+		fmt.Println(core.RenderFigure4(lat, "latency ms"))
+	}
+	if *gaps || *all {
+		ran = true
+		for _, threshold := range []float64{60, 40} {
+			fmt.Printf("Acceptable NUMA gap at the %.0f%% criterion:\n", threshold)
+			fmt.Println(core.RenderGaps(core.GapAnalysis(panels, threshold), threshold))
+		}
+	}
+	if *shapes || *all {
+		ran = true
+		results, err := core.ClusterShapeStudy(scale, []string{"Water", "ASP"},
+			3300*sim.Microsecond, 0.95e6)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Cluster-structure study (32 processors, 3.3 ms, 0.95 MByte/s):")
+		fmt.Println(core.RenderShapes(results))
+	}
+	if *varia || *all {
+		ran = true
+		base := network.DefaultParams().WithWAN(10*sim.Millisecond, 1e6)
+		v := network.Variability{
+			LatencyJitter:   20 * sim.Millisecond,
+			BandwidthFactor: 0.5,
+			Period:          100 * sim.Millisecond,
+			Seed:            core.DefaultSeed,
+		}
+		results, err := core.VariabilityStudy(scale, base, v)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Wide-area variability study (base 10 ms / 1 MByte/s, optimized variants):")
+		fmt.Println(core.RenderVariability(results, v))
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func renderCSV(p core.Figure3Panel) {
+	t := stats.NewTable("app", "variant", "latency_ms", "bandwidth_MBs", "relative_speedup_pct")
+	variant := "unoptimized"
+	if p.Optimized {
+		variant = "optimized"
+	}
+	for i, lat := range p.Latencies {
+		for j, bw := range p.Bandwidths {
+			t.AddRow(p.App, variant,
+				fmt.Sprintf("%.4g", lat.Milliseconds()),
+				fmt.Sprintf("%.4g", bw/1e6),
+				fmt.Sprintf("%.2f", p.Rel[i][j]))
+		}
+	}
+	t.CSV(os.Stdout)
+}
+
+func parseScale(s string) (apps.Scale, error) {
+	switch s {
+	case "tiny":
+		return apps.Tiny, nil
+	case "small":
+		return apps.Small, nil
+	case "paper":
+		return apps.Paper, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

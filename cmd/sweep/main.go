@@ -1,0 +1,119 @@
+// Command sweep runs a single experiment on the simulated two-layer system
+// and reports its runtime, relative speedup and traffic — the basic unit of
+// the paper's measurements, exposed for ad-hoc exploration.
+//
+// Example:
+//
+//	sweep -app Water -optimized -latency 30ms -bandwidth 0.3 -clusters 4 -percluster 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/core"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+	"twolayer/internal/trace"
+)
+
+func main() {
+	var (
+		appName    = flag.String("app", "Water", "application: Water, Barnes-Hut, TSP, ASP, Awari or FFT")
+		optimized  = flag.Bool("optimized", false, "use the cluster-aware variant")
+		latency    = flag.Duration("latency", 500*time.Microsecond, "one-way wide-area latency")
+		bandwidth  = flag.Float64("bandwidth", 6.0, "wide-area bandwidth in MByte/s")
+		clusters   = flag.Int("clusters", 4, "number of clusters")
+		perCluster = flag.Int("percluster", 8, "processors per cluster")
+		scaleF     = flag.String("scale", "paper", "problem scale: tiny, small or paper")
+		verify     = flag.Bool("verify", true, "check the computed result against the sequential reference")
+		traceRun   = flag.Bool("trace", false, "collect and print a communication trace")
+		jitter     = flag.Duration("jitter", 0, "max extra one-way wide-area latency per message")
+		bwVar      = flag.Float64("bwvar", 0, "max fractional wide-area bandwidth loss per congestion episode (0..1)")
+		tcp        = flag.Float64("tcp", 0, "TCP-like per-message link occupancy as a fraction of the RTT")
+	)
+	flag.Parse()
+
+	scale := map[string]apps.Scale{"tiny": apps.Tiny, "small": apps.Small, "paper": apps.Paper}[*scaleF]
+	app, err := core.AppByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := topology.Uniform(*clusters, *perCluster)
+	if err != nil {
+		fatal(err)
+	}
+	params := network.DefaultParams().WithWAN(sim.Time((*latency).Nanoseconds()), *bandwidth*1e6)
+	params.WANMessageRTTFactor = *tcp
+
+	x := core.Experiment{
+		App: app, Scale: scale, Optimized: *optimized,
+		Topo: topo, Params: params, Verify: *verify,
+	}
+	if *jitter > 0 || *bwVar > 0 {
+		v := network.Variability{
+			LatencyJitter:   sim.Time((*jitter).Nanoseconds()),
+			BandwidthFactor: *bwVar,
+			Period:          100 * sim.Millisecond,
+			Seed:            core.DefaultSeed,
+		}
+		x.Configure = func(n *network.Network) { n.SetVariability(v) }
+	}
+	var tr *trace.Collector
+	if *traceRun {
+		tr = trace.NewCollector(topo.Procs())
+		x.Trace = tr
+	}
+	res, err := x.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	base := core.NewBaselines(scale)
+	tl, err := base.SingleCluster(app, topo.Procs())
+	if err != nil {
+		fatal(err)
+	}
+
+	latGap, bwGap := params.Gap()
+	fmt.Printf("application:        %s (optimized=%v, scale=%s)\n", app.Name, *optimized, scale)
+	fmt.Printf("machine:            %s, WAN %v one-way / %.3g MByte/s (gap: %.0fx latency, %.0fx bandwidth)\n",
+		topo, params.WANLatency, *bandwidth, latGap, bwGap)
+	fmt.Printf("runtime:            %v (single cluster: %v)\n", res.Elapsed, tl)
+	fmt.Printf("relative speedup:   %.1f%% of the all-fast-network run\n", core.RelativeSpeedup(tl, res.Elapsed))
+	fmt.Printf("comm time share:    %.1f%%\n", core.CommTimePercent(tl, res.Elapsed))
+	fmt.Printf("wide-area traffic:  %d messages, %.3f MByte (%.3f MByte/s aggregate)\n",
+		res.WAN.Messages, float64(res.WAN.Bytes)/1e6, float64(res.WAN.Bytes)/1e6/res.Elapsed.Seconds())
+	for c, s := range res.ClusterWANOut {
+		fmt.Printf("  cluster %d out:    %d msgs, %.3f MByte/s\n",
+			c, s.Messages, float64(s.Bytes)/1e6/res.Elapsed.Seconds())
+	}
+	fmt.Printf("simulator effort:   %d events\n", res.Events)
+	if *verify {
+		fmt.Println("verification:       output matches the sequential reference")
+	}
+	if tr != nil {
+		s := tr.Summarize()
+		fmt.Printf("\ntrace: %d messages (%d wide-area), mean transit %v (WAN %v), max %v\n",
+			s.Messages, s.WANMessages, s.MeanTransit, s.MeanWANTransit, s.MaxTransit)
+		fmt.Println()
+		fmt.Print(tr.RenderCommMatrix())
+		fmt.Println()
+		fmt.Print(tr.RenderUtilization(res.Elapsed))
+		fmt.Println()
+		fmt.Print(tr.Timeline(res.Elapsed, 24))
+		fmt.Println("\nbusiest pairs:")
+		for _, p := range tr.TopPairs(5) {
+			fmt.Printf("  %3d -> %3d: %d bytes\n", p.Src, p.Dst, p.Bytes)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Command topo prints the machine model — the paper's Figure 2 — and the
+// derived interconnect characteristics for a given configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+func main() {
+	var (
+		clusters   = flag.Int("clusters", 4, "number of clusters")
+		perCluster = flag.Int("percluster", 8, "processors per cluster")
+		latency    = flag.Duration("latency", 500*time.Microsecond, "one-way wide-area latency")
+		bandwidth  = flag.Float64("bandwidth", 6.0, "wide-area bandwidth in MByte/s")
+	)
+	flag.Parse()
+
+	topo, err := topology.Uniform(*clusters, *perCluster)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topo:", err)
+		os.Exit(1)
+	}
+	params := network.DefaultParams().WithWAN(sim.Time((*latency).Nanoseconds()), *bandwidth*1e6)
+
+	fmt.Printf("Two-layer interconnect (after the DAS, Figure 2): %s\n\n", topo)
+	for c := 0; c < topo.Clusters(); c++ {
+		fmt.Printf("  cluster %d: ranks %v, gateway/coordinator rank %d\n",
+			c, topo.RanksIn(c), topo.FirstRank(c))
+	}
+	fmt.Printf("\nfast (Myrinet-class) links: %v one-way, %.0f MByte/s\n",
+		params.IntraLatency, params.IntraBandwidth/1e6)
+	fmt.Printf("slow (ATM-class) links:     %v one-way, %.3g MByte/s, fully connected (%d directed links)\n",
+		params.WANLatency, params.WANBandwidth/1e6, topo.WANLinks())
+	latGap, bwGap := params.Gap()
+	fmt.Printf("NUMA gap:                   %.0fx latency, %.0fx bandwidth\n", latGap, bwGap)
+}

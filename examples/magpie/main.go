@@ -1,0 +1,53 @@
+// Magpie: use the hierarchical collective-communication library (the
+// Section 6 system) directly, and watch its advantage over flat trees grow
+// with the wide-area latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twolayer"
+)
+
+func main() {
+	topo, err := twolayer.Uniform(8, 4) // 8 clusters of 4
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Direct use of the collective API inside a parallel program: a global
+	// sum via Allreduce, hierarchical style.
+	res, err := twolayer.Run(topo, twolayer.DefaultParams(), 1, func(e *twolayer.Env) {
+		comm := twolayer.NewComm(e, twolayer.Hierarchical)
+		out := comm.Allreduce([]float64{float64(e.Rank())}, twolayer.SumOp)
+		if e.Rank() == 0 {
+			fmt.Printf("Allreduce over %d ranks: sum = %.0f (expected %d)\n",
+				e.Size(), out[0], e.Size()*(e.Size()-1)/2)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed in %v of virtual time\n\n", res.Elapsed)
+
+	// Flat vs hierarchical across latencies: the MagPIe effect.
+	fmt.Println("Allreduce, flat vs hierarchical, 64 elements:")
+	for _, lat := range []twolayer.Time{
+		twolayer.Millisecond, 10 * twolayer.Millisecond, 100 * twolayer.Millisecond,
+	} {
+		params := twolayer.DefaultParams().WithWAN(lat, 1e6)
+		results, err := twolayer.CollectiveComparison(topo, params, 64, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Op == "Allreduce" {
+				fmt.Printf("  WAN latency %8v: flat %10v, hierarchical %10v (%.1fx)\n",
+					lat, r.Flat, r.Hier, r.Speedup)
+			}
+		}
+	}
+	fmt.Println("\nEvery payload crosses each slow link exactly once in the hierarchical")
+	fmt.Println("algorithms, so their advantage grows with the latency gap.")
+}

@@ -1,0 +1,215 @@
+// Models: the same computation under three programming models — message
+// passing, Orca shared objects, and page-based DSM — on the same two-layer
+// machine. The paper's applications are message passing; its Section 2
+// surveys the DSM systems of the day and its substrate is the Orca
+// runtime. This example shows why the model choice decides who survives
+// the NUMA gap: all three compute the identical stencil result, but their
+// communication patterns meet the slow links very differently.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"twolayer"
+)
+
+const (
+	cells      = 512
+	iterations = 10
+	cellCost   = 40 * twolayer.Microsecond
+)
+
+// checksum folds a slab into a stable digest.
+func checksum(vals []float64) float64 {
+	s := 0.0
+	for i, v := range vals {
+		s += v * float64(i%7+1)
+	}
+	return s
+}
+
+// initCell gives the deterministic initial condition.
+func initCell(i int) float64 {
+	x := float64(i) / cells
+	return math.Sin(9*x) + 0.5*math.Cos(31*x)
+}
+
+// slab returns rank r's cell range.
+func slab(r, p int) (int, int) { return r * cells / p, (r + 1) * cells / p }
+
+// smooth applies one Jacobi step to the interior given the two halo cells.
+func smooth(cur []float64, left, right float64) []float64 {
+	n := len(cur)
+	next := make([]float64, n)
+	get := func(i int) float64 {
+		switch {
+		case i < 0:
+			return left
+		case i >= n:
+			return right
+		default:
+			return cur[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		next[i] = (get(i-1) + 2*cur[i] + get(i+1)) / 4
+	}
+	return next
+}
+
+// messagePassing: explicit halo exchange, the paper's model.
+func messagePassing(e *twolayer.Env, sum *float64) {
+	lo, hi := slab(e.Rank(), e.Size())
+	cur := make([]float64, hi-lo)
+	for i := range cur {
+		cur[i] = initCell(lo + i)
+	}
+	for it := 0; it < iterations; it++ {
+		tag := twolayer.Tag(100 + it)
+		if e.Rank() > 0 {
+			e.Send(e.Rank()-1, tag, cur[0], 8)
+		}
+		if e.Rank() < e.Size()-1 {
+			e.Send(e.Rank()+1, tag, cur[len(cur)-1], 8)
+		}
+		left, right := 0.0, 0.0
+		if e.Rank() > 0 {
+			left = e.RecvFrom(e.Rank()-1, tag).Data.(float64)
+		}
+		if e.Rank() < e.Size()-1 {
+			right = e.RecvFrom(e.Rank()+1, tag).Data.(float64)
+		}
+		cur = smooth(cur, left, right)
+		e.ComputeUnits(int64(len(cur)), cellCost)
+	}
+	if e.Rank() == 0 {
+		*sum = checksum(cur)
+	}
+}
+
+// orcaModel: boundary values live in a replicated shared object whose
+// writes are totally ordered through the sequencer.
+func orcaModel(e *twolayer.Env, sum *float64) {
+	rt := twolayer.NewOrca(e, nil)
+	type halos struct{ vals []float64 } // 2 entries per rank: left, right
+	h := rt.Declare("halos", twolayer.OrcaReplicated, 0, func() twolayer.OrcaState {
+		return &halos{vals: make([]float64, 2*e.Size())}
+	}, map[string]twolayer.OrcaOp{
+		"set": func(s twolayer.OrcaState, arg any) any {
+			kv := arg.([2]float64)
+			s.(*halos).vals[int(kv[0])] = kv[1]
+			return nil
+		},
+		"get": func(s twolayer.OrcaState, arg any) any {
+			return s.(*halos).vals[arg.(int)]
+		},
+	})
+
+	lo, hi := slab(e.Rank(), e.Size())
+	cur := make([]float64, hi-lo)
+	for i := range cur {
+		cur[i] = initCell(lo + i)
+	}
+	for it := 0; it < iterations; it++ {
+		// Publish boundaries (ordered broadcasts), then a barrier-like
+		// ordered write ensures everyone sees this iteration's values.
+		h.Write("set", [2]float64{float64(2 * e.Rank()), cur[0]})
+		h.Write("set", [2]float64{float64(2*e.Rank() + 1), cur[len(cur)-1]})
+		rt.Fence()
+		left, right := 0.0, 0.0
+		if e.Rank() > 0 {
+			left = h.Read("get", 2*(e.Rank()-1)+1).(float64)
+		}
+		if e.Rank() < e.Size()-1 {
+			right = h.Read("get", 2*(e.Rank()+1)).(float64)
+		}
+		cur = smooth(cur, left, right)
+		e.ComputeUnits(int64(len(cur)), cellCost)
+	}
+	rt.Shutdown()
+	if e.Rank() == 0 {
+		*sum = checksum(cur)
+	}
+}
+
+// dsmModel: the whole array is shared memory; neighbours' cells are read
+// through the coherence protocol.
+func dsmModel(e *twolayer.Env, sum *float64) {
+	d := twolayer.NewSharedMemory(e, cells, 16)
+	lo, hi := slab(e.Rank(), e.Size())
+	for i := lo; i < hi; i++ {
+		d.Write(i, initCell(i))
+	}
+	d.Barrier()
+	for it := 0; it < iterations; it++ {
+		cur := make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			cur[i-lo] = d.Read(i)
+		}
+		left, right := 0.0, 0.0
+		if lo > 0 {
+			left = d.Read(lo - 1)
+		}
+		if hi < cells {
+			right = d.Read(hi)
+		}
+		next := smooth(cur, left, right)
+		d.Barrier() // everyone has read iteration it's values
+		for i := lo; i < hi; i++ {
+			d.Write(i, next[i-lo])
+		}
+		e.ComputeUnits(int64(len(next)), cellCost)
+		d.Barrier()
+	}
+	if e.Rank() == 0 {
+		final := make([]float64, hi-lo)
+		for i := lo; i < hi; i++ {
+			final[i-lo] = d.Read(i)
+		}
+		*sum = checksum(final)
+	}
+	d.Shutdown()
+}
+
+func main() {
+	topo := twolayer.DAS()
+	models := []struct {
+		name string
+		run  func(e *twolayer.Env, sum *float64)
+	}{
+		{"message-passing", messagePassing},
+		{"orca-objects", orcaModel},
+		{"page-dsm", dsmModel},
+	}
+	fmt.Println("one stencil, three programming models, growing NUMA gap:")
+	fmt.Printf("%-16s %14s %14s %10s\n", "model", "0.5ms WAN", "30ms WAN", "slowdown")
+	var wantSum float64
+	for _, m := range models {
+		var fast, slow twolayer.Time
+		for i, lat := range []twolayer.Time{500 * twolayer.Microsecond, 30 * twolayer.Millisecond} {
+			var sum float64
+			res, err := twolayer.Run(topo, twolayer.DefaultParams().WithWAN(lat, 1e6), 1,
+				func(e *twolayer.Env) { m.run(e, &sum) })
+			if err != nil {
+				log.Fatal(err)
+			}
+			if wantSum == 0 {
+				wantSum = sum
+			} else if math.Abs(sum-wantSum) > 1e-9*math.Abs(wantSum) {
+				log.Fatalf("%s computed a different result: %g vs %g", m.name, sum, wantSum)
+			}
+			if i == 0 {
+				fast = res.Elapsed
+			} else {
+				slow = res.Elapsed
+			}
+		}
+		fmt.Printf("%-16s %14v %14v %9.1fx\n", m.name, fast, slow, float64(slow)/float64(fast))
+	}
+	fmt.Println("\nIdentical answers; radically different gap tolerance. Explicit halo")
+	fmt.Println("messages touch the slow links twice per iteration; ordered object")
+	fmt.Println("writes and page coherence touch them per update — the reason the")
+	fmt.Println("paper's suite is message passing, restructured cluster-aware.")
+}

@@ -1,0 +1,77 @@
+// Mpiport: port an MPI-shaped program to the simulated two-layer machine.
+// The program is a textbook parallel numerical integrator (midpoint rule
+// over [0,1] of 4/(1+x^2), i.e. pi) written exactly like its MPI original:
+// COMM_WORLD, broadcast of the work size, local computation, reduction of
+// partial sums — then a per-cluster stage built with Comm_split. Switching
+// the collective style from Flat to Hierarchical is the whole "MagPIe
+// port": zero changes to application code, as the paper's Section 6
+// promises ("not a single line of application code has to be changed").
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"twolayer"
+)
+
+const intervals = 1 << 20
+
+// computePi is the MPI-shaped kernel: only the communicator type names
+// betray that it is not MPICH underneath.
+func computePi(comm *twolayer.MPIComm) float64 {
+	// Root broadcasts the interval count (as MPI programs do).
+	var n []float64
+	if comm.Rank() == 0 {
+		n = []float64{intervals}
+	}
+	n = comm.Bcast(0, n)
+	steps := int(n[0])
+
+	h := 1.0 / float64(steps)
+	sum := 0.0
+	for i := comm.Rank(); i < steps; i += comm.Size() {
+		x := h * (float64(i) + 0.5)
+		sum += 4.0 / (1.0 + x*x)
+	}
+	part := []float64{sum * h}
+	total := comm.Allreduce(part, twolayer.SumOp)
+	return total[0]
+}
+
+func main() {
+	topo := twolayer.DAS()
+	params := twolayer.DefaultParams().WithWAN(30*twolayer.Millisecond, 1e6)
+
+	for _, style := range []twolayer.CollectiveStyle{twolayer.Flat, twolayer.Hierarchical} {
+		style := style
+		var pi float64
+		var clusterMax float64
+		res, err := twolayer.RunWith(topo, twolayer.RunOptions{Params: params, Seed: 1},
+			func(e *twolayer.Env) {
+				comm := twolayer.MPIWorld(e, style)
+				// Model the integrand cost so the run has a compute phase.
+				e.ComputeUnits(intervals/int64(comm.Size()), 40*twolayer.Nanosecond)
+				v := computePi(comm)
+
+				// A second, two-level stage: per-cluster maxima via
+				// Comm_split, then combined globally — the structure MagPIe
+				// exploits.
+				sub := comm.ClusterComm()
+				local := sub.Allreduce([]float64{float64(comm.Rank())}, twolayer.MaxOp)
+				global := comm.Allreduce(local, twolayer.MaxOp)
+				if comm.Rank() == 0 {
+					pi = v
+					clusterMax = global[0]
+				}
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12v pi = %.9f (err %.1e), max rank via split = %.0f, elapsed %v\n",
+			style, pi, math.Abs(pi-math.Pi), clusterMax, res.Elapsed)
+	}
+	fmt.Println("\nSame program, same answers — the hierarchical collectives just spend")
+	fmt.Println("fewer wide-area round trips, exactly the MagPIe pitch.")
+}

@@ -1,0 +1,51 @@
+// Quickstart: run one application on the simulated two-layer machine and
+// see what the NUMA gap does to it — the smallest end-to-end use of the
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twolayer"
+)
+
+func main() {
+	app, err := twolayer.AppByName("Water")
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := twolayer.DAS() // 4 clusters x 8 processors
+
+	// The all-fast-network reference the paper normalizes against.
+	base := twolayer.NewBaselines(twolayer.PaperScale)
+	tl, err := base.SingleCluster(app, topo.Procs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on one 32-processor cluster: %v\n\n", app.Name, tl)
+
+	// Slow the wide-area links down and compare the original program with
+	// the cluster-aware one.
+	for _, lat := range []twolayer.Time{
+		500 * twolayer.Microsecond, 30 * twolayer.Millisecond,
+	} {
+		params := twolayer.DefaultParams().WithWAN(lat, 0.3e6)
+		for _, optimized := range []bool{false, true} {
+			res, err := twolayer.Experiment{
+				App: app, Scale: twolayer.PaperScale, Optimized: optimized,
+				Topo: topo, Params: params, Verify: true,
+			}.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			variant := "original "
+			if optimized {
+				variant = "optimized"
+			}
+			fmt.Printf("WAN %8v / 0.3 MByte/s, %s: %8v (%.0f%% of the fast-network run, verified)\n",
+				lat, variant, res.Elapsed, twolayer.RelativeSpeedup(tl, res.Elapsed))
+		}
+	}
+	fmt.Println("\nThe cluster-aware version hides an order of magnitude more NUMA gap.")
+}

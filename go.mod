@@ -1,0 +1,3 @@
+module twolayer
+
+go 1.22

@@ -1,0 +1,67 @@
+// Package apps defines the common contract for the paper's six application
+// programs (Water, Barnes-Hut, TSP, ASP, Awari, FFT). Each application
+// lives in its own subpackage and implements Instance: an SPMD job whose
+// real computed results can be verified against a sequential reference
+// after the simulated run, plus the Table 2 metadata.
+//
+// Applications perform real computation at a reduced problem size while
+// charging calibrated virtual compute time and paper-scale simulated
+// message sizes, so that the computation-to-communication grain — and
+// therefore the sensitivity curves — match the paper's full-size runs.
+package apps
+
+import "twolayer/internal/par"
+
+// Scale selects an application's problem size.
+type Scale int
+
+const (
+	// Tiny is for fast unit tests.
+	Tiny Scale = iota
+	// Small is for integration tests and quick sweeps.
+	Small
+	// Paper is the calibrated size used to regenerate the paper's tables
+	// and figures.
+	Paper
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	default:
+		return "paper"
+	}
+}
+
+// Instance is one configured run of an application. Instances are not
+// reusable: build a fresh one per par.Run.
+type Instance interface {
+	// Job returns the SPMD body. With optimized true it uses the
+	// cluster-aware communication pattern of Section 3.2; otherwise the
+	// original uniform-network pattern.
+	Job(optimized bool) par.Job
+	// Check verifies the run's computed output against a sequential
+	// reference; call it only after par.Run has returned without error.
+	Check() error
+}
+
+// Info is the registry entry for one application: the Table 2 metadata and
+// a constructor. procs is the total processor count the instance will run
+// on (instances partition work by rank).
+type Info struct {
+	// Name as used in the paper's tables.
+	Name string
+	// Pattern is the base communication pattern (Table 2, column 2).
+	Pattern string
+	// Optimization is the cluster-aware change (Table 2, column 3).
+	Optimization string
+	// HasOptimized is false only for FFT, where the paper found no
+	// optimization.
+	HasOptimized bool
+	// New builds an instance for the given scale and processor count.
+	New func(scale Scale, procs int) Instance
+}

@@ -1,0 +1,12 @@
+package apps
+
+import "testing"
+
+func TestScaleString(t *testing.T) {
+	cases := map[Scale]string{Tiny: "tiny", Small: "small", Paper: "paper"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

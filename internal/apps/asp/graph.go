@@ -1,0 +1,78 @@
+package asp
+
+import "math/rand"
+
+// inf is the "no path" distance; small enough that inf+weight cannot
+// overflow an int32-sized range, large enough to exceed any real path.
+const inf = int32(1 << 29)
+
+// randomGraph builds a deterministic directed graph as an adjacency/distance
+// matrix: dist[i][j] is the edge weight, inf if absent, 0 on the diagonal.
+// Density ~25%, weights 1..100.
+func randomGraph(n int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	d := make([][]int32, n)
+	for i := range d {
+		d[i] = make([]int32, n)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = 0
+			case rng.Intn(4) == 0:
+				d[i][j] = int32(rng.Intn(100) + 1)
+			default:
+				d[i][j] = inf
+			}
+		}
+	}
+	return d
+}
+
+// sequentialASP runs the reference Floyd-Warshall algorithm.
+func sequentialASP(d [][]int32) {
+	n := len(d)
+	for k := 0; k < n; k++ {
+		rowk := d[k]
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik >= inf {
+				continue
+			}
+			rowi := d[i]
+			for j := 0; j < n; j++ {
+				if v := dik + rowk[j]; v < rowi[j] {
+					rowi[j] = v
+				}
+			}
+		}
+	}
+}
+
+// dijkstra computes single-source shortest paths from src, used as an
+// independent oracle in property tests.
+func dijkstra(adj [][]int32, src int) []int32 {
+	n := len(adj)
+	dist := make([]int32, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, inf
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		for v := 0; v < n; v++ {
+			if w := adj[u][v]; w < inf && dist[u]+w < dist[v] {
+				dist[v] = dist[u] + w
+			}
+		}
+	}
+}

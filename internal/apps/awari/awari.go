@@ -1,0 +1,419 @@
+// Package awari implements the paper's Awari application: parallel
+// retrograde analysis that builds an end-game database bottom-up, level by
+// level in the number of stones on the board. States are hashed to
+// processors; solving a state generates small asynchronous value-update
+// messages to the owners of related states.
+//
+// Communication pattern (Table 2): "Asynch Unordered Msg" — a very high
+// volume of tiny messages. The original program already combines updates
+// per destination processor; the run is organized in update rounds, each
+// round flushing one combined message per communication channel.
+//
+// Cluster-aware optimization (Section 3.2): a second level of message
+// combining. Updates for a remote cluster are assembled into a single
+// message to that cluster's designated processor, sent once over the slow
+// link, and redistributed locally — cutting wide-area messages per round
+// from p*(p-p/C) to p*(C-1).
+package awari
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+)
+
+// Config sizes an Awari run and sets its cost model.
+type Config struct {
+	// Rules fixes the board.
+	Rules Rules
+	// MaxStones is the largest database level to compute.
+	MaxStones int
+	// StateCost is the virtual time charged to set up one owned state
+	// (move generation, counter initialization).
+	StateCost sim.Time
+	// UpdateCost is the virtual time charged to process one update.
+	UpdateCost sim.Time
+	// UpdateBytes is the simulated wire size of one update record.
+	UpdateBytes int64
+}
+
+// Info is the registry entry (Table 2 row).
+var Info = apps.Info{
+	Name:         "Awari",
+	Pattern:      "Asynch Unordered Msg",
+	Optimization: "Msg Comb/Clus",
+	HasOptimized: true,
+	New:          func(s apps.Scale, procs int) apps.Instance { return New(ConfigFor(s), procs) },
+}
+
+// ConfigFor returns the configuration for a scale. Paper scale is
+// calibrated against Table 1: Awari is the suite's worst scaler (speedup
+// 7.8 on 32 processors, 2.3 s runtime) because communication dominates.
+func ConfigFor(s apps.Scale) Config {
+	switch s {
+	case apps.Tiny:
+		return Config{Rules: Rules{PitsPerSide: 2}, MaxStones: 4,
+			StateCost: 2 * sim.Microsecond, UpdateCost: sim.Microsecond, UpdateBytes: 12}
+	case apps.Small:
+		return Config{Rules: Rules{PitsPerSide: 3}, MaxStones: 5,
+			StateCost: 5 * sim.Microsecond, UpdateCost: 2 * sim.Microsecond, UpdateBytes: 12}
+	default:
+		return Config{Rules: Rules{PitsPerSide: 3}, MaxStones: 7,
+			StateCost: 70 * sim.Microsecond, UpdateCost: 26 * sim.Microsecond, UpdateBytes: 12}
+	}
+}
+
+// Awari is one configured instance.
+type Awari struct {
+	cfg    Config
+	procs  int
+	result map[State]Value
+}
+
+// New builds an instance for the given processor count.
+func New(cfg Config, procs int) *Awari {
+	return &Awari{cfg: cfg, procs: procs, result: make(map[State]Value)}
+}
+
+// owner hashes a state to its owning rank.
+func (a *Awari) owner(s State) int {
+	h := fnv.New32a()
+	var buf [maxPits + 1]byte
+	for i, v := range s.Pits {
+		buf[i] = byte(v)
+	}
+	buf[maxPits] = byte(s.Mover)
+	h.Write(buf[:])
+	return int(h.Sum32() % uint32(a.procs))
+}
+
+// update is one unit of the asynchronous traffic: either a subscription
+// ("tell me about v, for my state u") or a notification ("v solved as
+// val, relevant to your state u").
+type update struct {
+	subscribe bool
+	v, u      State
+	val       Value
+}
+
+// Message tags are offset by a run-global round counter so rounds can never
+// cross-talk even when one processor runs ahead.
+const (
+	tagData par.Tag = 100 + iota
+	tagBundle
+	tagFwd
+	tagAct
+	tagActDown
+	tagsPerRound
+)
+
+func roundTag(round int, kind par.Tag) par.Tag {
+	return kind + par.Tag(round)*tagsPerRound
+}
+
+// Job returns the SPMD body.
+func (a *Awari) Job(optimized bool) par.Job {
+	return func(e *par.Env) { a.run(e, optimized) }
+}
+
+func (a *Awari) run(e *par.Env, optimized bool) {
+	cfg := a.cfg
+	p := e.Size()
+	r := e.Rank()
+	rules := cfg.Rules
+
+	values := make(map[State]Value)
+	cnt := make(map[State]int)
+	subs := make(map[State][]State) // v -> predecessor states waiting on it
+	level := 0
+
+	// Outgoing update buffers, one per destination rank; local updates skip
+	// the network.
+	out := make([][]update, p)
+	var localPending []update
+	queued := false
+	push := func(u update, dst int) {
+		if dst == r {
+			localPending = append(localPending, u)
+		} else {
+			out[dst] = append(out[dst], u)
+		}
+		queued = true
+	}
+
+	var solve func(s State, v Value)
+	solve = func(s State, v Value) {
+		if values[s] != Unknown {
+			return
+		}
+		values[s] = v
+		for _, u := range subs[s] {
+			push(update{v: s, u: u, val: v}, a.owner(u))
+		}
+		delete(subs, s)
+	}
+
+	process := func(u update) {
+		if u.subscribe {
+			if v := values[u.v]; v != Unknown {
+				push(update{v: u.v, u: u.u, val: v}, a.owner(u.u))
+			} else {
+				subs[u.v] = append(subs[u.v], u.u)
+			}
+			return
+		}
+		// Notification about u.v for predecessor u.u (owned here).
+		if values[u.u] != Unknown {
+			return
+		}
+		switch u.val {
+		case Loss:
+			solve(u.u, Win)
+		case Win:
+			cnt[u.u]--
+			if cnt[u.u] == 0 {
+				solve(u.u, Loss)
+			}
+		}
+		// Draw notifications carry no decision power.
+	}
+
+	round := 0
+	bytesFor := func(n int) int64 { return 16 + int64(n)*cfg.UpdateBytes }
+
+	// exchangeRound flushes every buffer (dense: empty messages keep the
+	// per-round receive counts deterministic), receives and processes this
+	// round's incoming updates, and returns whether any processor queued
+	// new work.
+	exchangeRound := func() bool {
+		dataTag := roundTag(round, tagData)
+		bundleTag := roundTag(round, tagBundle)
+		fwdTag := roundTag(round, tagFwd)
+		coord := e.Coordinator(e.Cluster())
+		peers := e.ClusterPeers()
+
+		if !optimized {
+			for d := 0; d < p; d++ {
+				if d == r {
+					continue
+				}
+				e.Send(d, dataTag, out[d], bytesFor(len(out[d])))
+				out[d] = nil
+			}
+		} else {
+			// Intra-cluster updates go direct; remote ones are combined per
+			// destination cluster and routed through its coordinator.
+			for _, d := range peers {
+				if d == r {
+					continue
+				}
+				e.Send(d, dataTag, out[d], bytesFor(len(out[d])))
+				out[d] = nil
+			}
+			for c := 0; c < e.Clusters(); c++ {
+				if c == e.Cluster() {
+					continue
+				}
+				var bundle []update
+				var dests []int
+				for _, d := range e.Topology().RanksIn(c) {
+					bundle = append(bundle, out[d]...)
+					for range out[d] {
+						dests = append(dests, d)
+					}
+					out[d] = nil
+				}
+				e.Send(e.Coordinator(c), bundleTag, bundleMsg{bundle, dests}, bytesFor(len(bundle)))
+			}
+		}
+
+		// Local updates are processed as part of this round.
+		pending := localPending
+		localPending = nil
+		queued = false
+
+		if !optimized {
+			for i := 0; i < p-1; i++ {
+				m := e.Recv(dataTag)
+				pending = append(pending, m.Data.([]update)...)
+			}
+		} else {
+			// Coordinator duty first: unpack remote bundles and forward one
+			// combined message per member.
+			if r == coord {
+				perMember := make(map[int][]update)
+				for i := 0; i < p-len(peers); i++ {
+					m := e.Recv(bundleTag)
+					bm := m.Data.(bundleMsg)
+					for j, u := range bm.updates {
+						d := bm.dests[j]
+						if d == r {
+							pending = append(pending, u)
+						} else {
+							perMember[d] = append(perMember[d], u)
+						}
+					}
+				}
+				for _, d := range peers {
+					if d == r {
+						continue
+					}
+					e.Send(d, fwdTag, perMember[d], bytesFor(len(perMember[d])))
+				}
+			}
+			for i := 0; i < len(peers)-1; i++ {
+				m := e.Recv(dataTag)
+				pending = append(pending, m.Data.([]update)...)
+			}
+			if r != coord {
+				m := e.RecvFrom(coord, fwdTag)
+				pending = append(pending, m.Data.([]update)...)
+			}
+		}
+
+		// Charge processing once per batch (one context switch instead of
+		// thousands), then apply the updates.
+		e.ComputeUnits(int64(len(pending)), cfg.UpdateCost)
+		for _, u := range pending {
+			process(u)
+		}
+
+		// Global OR-reduction of "queued new work". The unoptimized program
+		// uses a flat binomial tree over global ranks (whose hops straddle
+		// clusters); the optimized one reduces within each cluster first and
+		// exchanges a single value per cluster over the wide area.
+		active := queued || len(localPending) > 0
+		actTag := roundTag(round, tagAct)
+		downTag := roundTag(round, tagActDown)
+		if !optimized {
+			lowbit := r & -r
+			if r == 0 {
+				lowbit = 1
+				for lowbit < p {
+					lowbit <<= 1
+				}
+			}
+			for mask := 1; mask < lowbit && r+mask < p; mask <<= 1 {
+				m := e.RecvFrom(r+mask, actTag)
+				active = active || m.Data.(bool)
+			}
+			if r != 0 {
+				e.Send(r-lowbit, actTag, active, 17)
+				active = e.RecvFrom(r-lowbit, downTag).Data.(bool)
+			}
+			for mask := lowbit >> 1; mask >= 1; mask >>= 1 {
+				if r+mask < p {
+					e.Send(r+mask, downTag, active, 17)
+				}
+			}
+		} else {
+			// Intra-cluster gather at the coordinator.
+			if r != coord {
+				e.Send(coord, actTag, active, 17)
+				active = e.RecvFrom(coord, downTag).Data.(bool)
+			} else {
+				for i := 0; i < len(peers)-1; i++ {
+					active = active || e.Recv(actTag).Data.(bool)
+				}
+				// One wide-area exchange between coordinators via rank 0's
+				// coordinator.
+				rootCoord := e.Coordinator(0)
+				if r != rootCoord {
+					e.Send(rootCoord, actTag, active, 17)
+					active = e.RecvFrom(rootCoord, downTag).Data.(bool)
+				} else {
+					for c := 1; c < e.Clusters(); c++ {
+						active = active || e.Recv(actTag).Data.(bool)
+					}
+					for c := 0; c < e.Clusters(); c++ {
+						if cc := e.Coordinator(c); cc != r {
+							e.Send(cc, downTag, active, 17)
+						}
+					}
+				}
+				for _, d := range peers {
+					if d != r {
+						e.Send(d, downTag, active, 17)
+					}
+				}
+			}
+		}
+		round++
+		return active
+	}
+
+	for level = 0; level <= cfg.MaxStones; level++ {
+		// Setup: own states at this level.
+		states := rules.enumerate(level)
+		ownedStates := 0
+		for _, u := range states {
+			if a.owner(u) != r {
+				continue
+			}
+			ownedStates++
+			succ := rules.moves(u)
+			if len(succ) == 0 {
+				solve(u, Loss)
+				continue
+			}
+			cnt[u] = len(succ)
+			for _, v := range succ {
+				push(update{subscribe: true, v: v, u: u}, a.owner(v))
+			}
+		}
+		e.ComputeUnits(int64(ownedStates), cfg.StateCost)
+
+		// Update rounds until global quiescence.
+		for exchangeRound() {
+		}
+
+		// Remaining unknowns at this level are draws; drop their dangling
+		// subscriptions (the waiters are in-level and become draws too).
+		for _, u := range states {
+			if a.owner(u) == r && values[u] == Unknown {
+				values[u] = Draw
+			}
+		}
+		for v := range subs {
+			if rules.stones(v) == level {
+				delete(subs, v)
+			}
+		}
+	}
+
+	// Publish owned values for verification (safe: one process at a time).
+	for s, v := range values {
+		a.result[s] = v
+	}
+}
+
+// bundleMsg carries combined updates for a whole cluster plus their final
+// destinations.
+type bundleMsg struct {
+	updates []update
+	dests   []int
+}
+
+// Database returns the computed values; valid after the run.
+func (a *Awari) Database() map[State]Value { return a.result }
+
+// Check verifies the distributed database against the sequential solver and
+// the minimax consistency equations.
+func (a *Awari) Check() error {
+	want := solveSequential(a.cfg.Rules, a.cfg.MaxStones)
+	if len(a.result) != len(want) {
+		return fmt.Errorf("awari: database has %d states, want %d", len(a.result), len(want))
+	}
+	for s, v := range want {
+		if a.result[s] != v {
+			return fmt.Errorf("awari: state %v = %v, want %v", s, a.result[s], v)
+		}
+	}
+	if s, ok := checkConsistency(a.cfg.Rules, a.result, a.cfg.MaxStones); !ok {
+		return fmt.Errorf("awari: database inconsistent at state %v", s)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package awari
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+func TestMovesConserveOrCaptureStones(t *testing.T) {
+	r := Rules{PitsPerSide: 3}
+	f := func(raw [6]uint8, mover bool) bool {
+		var s State
+		total := 0
+		for i, v := range raw {
+			s.Pits[i] = int8(v % 4)
+			total += int(s.Pits[i])
+		}
+		if mover {
+			s.Mover = 1
+		}
+		for _, n := range r.moves(s) {
+			after := r.stones(n)
+			if after > total || after < 0 {
+				return false
+			}
+			if n.Mover == s.Mover {
+				return false
+			}
+			// A capture removes at least 2 stones.
+			if after != total && total-after < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumerateCounts(t *testing.T) {
+	r := Rules{PitsPerSide: 2} // 4 pits
+	// Number of states with s stones in 4 pits: C(s+3,3), times 2 movers.
+	want := map[int]int{0: 2, 1: 8, 2: 20, 3: 40}
+	for s, n := range want {
+		if got := len(r.enumerate(s)); got != n {
+			t.Errorf("enumerate(%d) = %d states, want %d", s, got, n)
+		}
+	}
+}
+
+func TestEnumerateExactLevel(t *testing.T) {
+	r := Rules{PitsPerSide: 3}
+	for s := 0; s <= 4; s++ {
+		for _, st := range r.enumerate(s) {
+			if r.stones(st) != s {
+				t.Fatalf("state %v at wrong level (want %d)", st, s)
+			}
+		}
+	}
+}
+
+func TestSequentialSolverConsistent(t *testing.T) {
+	for _, p := range []int{2, 3} {
+		r := Rules{PitsPerSide: p}
+		maxStones := 5
+		values := solveSequential(r, maxStones)
+		if s, ok := checkConsistency(r, values, maxStones); !ok {
+			t.Errorf("pits=%d: inconsistent at %v (%v)", p, s, values[s])
+		}
+		// Terminal sanity: empty board is a loss for the mover.
+		var empty State
+		if values[empty] != Loss {
+			t.Errorf("empty board should be a loss, got %v", values[empty])
+		}
+	}
+}
+
+func TestDatabaseHasAllValueKinds(t *testing.T) {
+	values := solveSequential(Rules{PitsPerSide: 3}, 6)
+	count := map[Value]int{}
+	for _, v := range values {
+		count[v]++
+	}
+	if count[Win] == 0 || count[Loss] == 0 {
+		t.Errorf("degenerate database: %v", count)
+	}
+	if count[Unknown] != 0 {
+		t.Errorf("%d states left unknown", count[Unknown])
+	}
+}
+
+func runAwari(t *testing.T, topo *topology.Topology, optimized bool, params network.Params, scale apps.Scale) (par.Result, *Awari) {
+	t.Helper()
+	inst := New(ConfigFor(scale), topo.Procs())
+	res, err := par.Run(topo, params, 17, inst.Job(optimized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return res, inst
+}
+
+func TestAwariCorrectAllVariants(t *testing.T) {
+	topos := []*topology.Topology{
+		topology.SingleCluster(1),
+		topology.SingleCluster(4),
+		topology.MustUniform(2, 2),
+		topology.MustUniform(2, 3),
+		topology.DAS(),
+	}
+	for _, topo := range topos {
+		for _, opt := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/opt=%v", topo, opt), func(t *testing.T) {
+				runAwari(t, topo, opt, network.DefaultParams(), apps.Tiny)
+			})
+		}
+	}
+}
+
+func TestClusterCombiningCutsWANMessages(t *testing.T) {
+	r1, _ := runAwari(t, topology.DAS(), false, network.DefaultParams(), apps.Tiny)
+	r2, _ := runAwari(t, topology.DAS(), true, network.DefaultParams(), apps.Tiny)
+	// Per round: unoptimized sends p*(p - p/C) = 32*24 wide-area messages,
+	// optimized p*(C-1) = 32*3 — an 8x reduction.
+	if r2.WAN.Messages*4 > r1.WAN.Messages {
+		t.Errorf("expected ~8x fewer WAN messages; unopt %d, opt %d", r1.WAN.Messages, r2.WAN.Messages)
+	}
+}
+
+func TestCombiningHelpsAtModerateLatency(t *testing.T) {
+	// Paper: message combining more than doubled performance for latencies
+	// up to 3.3 ms.
+	params := network.DefaultParams().WithWAN(3300*sim.Microsecond, 6e6)
+	unopt, _ := runAwari(t, topology.DAS(), false, params, apps.Small)
+	opt, _ := runAwari(t, topology.DAS(), true, params, apps.Small)
+	if opt.Elapsed >= unopt.Elapsed {
+		t.Errorf("optimized (%v) should beat unoptimized (%v)", opt.Elapsed, unopt.Elapsed)
+	}
+}
+
+func TestAwariMessageDominance(t *testing.T) {
+	// Awari's defining trait: enormous message counts relative to volume.
+	res, _ := runAwari(t, topology.DAS(), false, network.DefaultParams(), apps.Small)
+	if res.WAN.Messages < 1000 {
+		t.Errorf("expected thousands of WAN messages, got %d", res.WAN.Messages)
+	}
+	meanBytes := float64(res.WAN.Bytes) / float64(res.WAN.Messages)
+	if meanBytes > 2048 {
+		t.Errorf("messages should be small; mean %.0f bytes", meanBytes)
+	}
+}
+
+func TestInfoMetadata(t *testing.T) {
+	if Info.Name != "Awari" || !Info.HasOptimized {
+		t.Errorf("Info = %+v", Info)
+	}
+}
+
+// TestMirrorSymmetryProperty: swapping the two players' rows (and the
+// mover) maps every position onto an equivalent one, so the database value
+// is invariant under the mirror.
+func TestMirrorSymmetryProperty(t *testing.T) {
+	r := Rules{PitsPerSide: 3}
+	const maxStones = 5
+	values := solveSequential(r, maxStones)
+	mirror := func(s State) State {
+		var m State
+		p := r.PitsPerSide
+		for i := 0; i < p; i++ {
+			m.Pits[i] = s.Pits[p+i]
+			m.Pits[p+i] = s.Pits[i]
+		}
+		m.Mover = 1 - s.Mover
+		return m
+	}
+	for level := 0; level <= maxStones; level++ {
+		for _, s := range r.enumerate(level) {
+			if values[s] != values[mirror(s)] {
+				t.Fatalf("mirror asymmetry at %v: %v vs %v", s, values[s], values[mirror(s)])
+			}
+		}
+	}
+}

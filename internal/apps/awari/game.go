@@ -1,0 +1,230 @@
+package awari
+
+// The game: a reduced Awari (oware) variant suitable for exhaustive
+// retrograde analysis. Two players own P pits each, laid out cyclically
+// (player 0: pits 0..P-1, player 1: pits P..2P-1). A move picks one of the
+// mover's non-empty pits and sows its stones counterclockwise, one per pit,
+// skipping the source pit. If the last stone lands in an opponent pit
+// holding 2 or 3 stones afterwards, that pit is captured (emptied), and the
+// capture chains backwards through the opponent's row while pits hold 2 or
+// 3. Captured stones leave the board. A player who cannot move (all own
+// pits empty) loses. Unlike tournament Awari there is no score count —
+// the winner is decided positionally — which keeps the state space at
+// "stones on the board x side to move" exactly as retrograde analysis
+// wants, while exercising the same bottom-up machinery as the paper's
+// 9-stone database construction.
+
+// maxPits bounds the board size so states are comparable array values.
+const maxPits = 8
+
+// State is a game position: pit contents plus the side to move.
+type State struct {
+	Pits  [maxPits]int8
+	Mover int8
+}
+
+// Value is a game-theoretic value for the side to move.
+type Value int8
+
+// Game-theoretic values.
+const (
+	Unknown Value = iota
+	Win
+	Loss
+	Draw
+)
+
+// String names the value.
+func (v Value) String() string {
+	switch v {
+	case Win:
+		return "win"
+	case Loss:
+		return "loss"
+	case Draw:
+		return "draw"
+	default:
+		return "unknown"
+	}
+}
+
+// Rules fixes the board size.
+type Rules struct {
+	// PitsPerSide is P; the board has 2P pits.
+	PitsPerSide int
+}
+
+// stones returns the number of stones on the board (the retrograde level).
+func (r Rules) stones(s State) int {
+	total := 0
+	for i := 0; i < 2*r.PitsPerSide; i++ {
+		total += int(s.Pits[i])
+	}
+	return total
+}
+
+// moves generates all successor states of s. Captures remove stones, so a
+// successor's level is at most the state's level.
+func (r Rules) moves(s State) []State {
+	p := r.PitsPerSide
+	total := 2 * p
+	lo := int(s.Mover) * p
+	var out []State
+	for src := lo; src < lo+p; src++ {
+		n := int(s.Pits[src])
+		if n == 0 {
+			continue
+		}
+		next := s
+		next.Pits[src] = 0
+		pos := src
+		for k := n; k > 0; k-- {
+			pos = (pos + 1) % total
+			if pos == src {
+				pos = (pos + 1) % total
+			}
+			next.Pits[pos]++
+		}
+		// Capture chain backwards through the opponent's row.
+		oppLo := (1 - int(s.Mover)) * p
+		for pos >= oppLo && pos < oppLo+p && (next.Pits[pos] == 2 || next.Pits[pos] == 3) {
+			next.Pits[pos] = 0
+			pos--
+		}
+		next.Mover = 1 - s.Mover
+		out = append(out, next)
+	}
+	return out
+}
+
+// enumerate lists every state with exactly stones stones on a board with
+// the given rules, both movers, in deterministic order.
+func (r Rules) enumerate(stones int) []State {
+	p2 := 2 * r.PitsPerSide
+	var out []State
+	var pits [maxPits]int8
+	var rec func(idx, left int)
+	rec = func(idx, left int) {
+		if idx == p2-1 {
+			pits[idx] = int8(left)
+			for mover := int8(0); mover <= 1; mover++ {
+				out = append(out, State{Pits: pits, Mover: mover})
+			}
+			pits[idx] = 0
+			return
+		}
+		for k := 0; k <= left; k++ {
+			pits[idx] = int8(k)
+			rec(idx+1, left-k)
+		}
+		pits[idx] = 0
+	}
+	rec(0, stones)
+	return out
+}
+
+// solveSequential computes the full database up to maxStones with
+// level-by-level retrograde analysis: terminal states seed the backward
+// induction; states still unknown when a level's propagation quiesces are
+// draws (cycles with no forced outcome).
+func solveSequential(r Rules, maxStones int) map[State]Value {
+	values := make(map[State]Value)
+	for level := 0; level <= maxStones; level++ {
+		states := r.enumerate(level)
+		cnt := make(map[State]int, len(states))
+		pred := make(map[State][]State)
+		var queue []State
+		solve := func(s State, v Value) {
+			if values[s] != Unknown {
+				return
+			}
+			values[s] = v
+			queue = append(queue, s)
+		}
+		for _, u := range states {
+			succ := r.moves(u)
+			if len(succ) == 0 {
+				solve(u, Loss)
+				continue
+			}
+			cnt[u] = len(succ)
+			for _, v := range succ {
+				if r.stones(v) < level {
+					// Lower level: already solved.
+					switch values[v] {
+					case Loss:
+						solve(u, Win)
+					case Win:
+						cnt[u]--
+					}
+					// Draw successors neither win nor count down.
+					continue
+				}
+				pred[v] = append(pred[v], u)
+			}
+			if values[u] == Unknown && cnt[u] == 0 {
+				solve(u, Loss)
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range pred[v] {
+				if values[u] != Unknown {
+					continue
+				}
+				switch values[v] {
+				case Loss:
+					solve(u, Win)
+				case Win:
+					cnt[u]--
+					if cnt[u] == 0 {
+						solve(u, Loss)
+					}
+				}
+			}
+		}
+		for _, u := range states {
+			if values[u] == Unknown {
+				values[u] = Draw
+			}
+		}
+	}
+	return values
+}
+
+// checkConsistency verifies the defining minimax equations of a solved
+// database: a state is Win iff some successor is Loss; Loss iff it has no
+// moves or all successors are Win; Draw iff no successor is Loss and at
+// least one is Draw. Returns the first violating state, if any.
+func checkConsistency(r Rules, values map[State]Value, maxStones int) (State, bool) {
+	for level := 0; level <= maxStones; level++ {
+		for _, u := range r.enumerate(level) {
+			succ := r.moves(u)
+			anyLoss, anyDraw := false, false
+			for _, v := range succ {
+				switch values[v] {
+				case Loss:
+					anyLoss = true
+				case Draw:
+					anyDraw = true
+				}
+			}
+			var want Value
+			switch {
+			case len(succ) == 0:
+				want = Loss
+			case anyLoss:
+				want = Win
+			case anyDraw:
+				want = Draw
+			default:
+				want = Loss
+			}
+			if values[u] != want {
+				return u, false
+			}
+		}
+	}
+	return State{}, true
+}

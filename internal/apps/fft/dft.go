@@ -1,0 +1,99 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// seqFFT computes the DFT of x (length a power of two) with the standard
+// recursive radix-2 Cooley-Tukey algorithm, using the e^{-2pi i/n}
+// convention. It is the sequential reference the parallel six-step
+// algorithm is verified against.
+func seqFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	if n%2 != 0 {
+		panic("fft: length must be a power of two")
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	fe, fo := seqFFT(even), seqFFT(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		t := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n))) * fo[k]
+		out[k] = fe[k] + t
+		out[k+n/2] = fe[k] - t
+	}
+	return out
+}
+
+// directDFT is the O(n^2) definition, used to validate seqFFT in tests.
+func directDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			acc += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// iterFFT computes the DFT of x in place with the iterative radix-2
+// algorithm; the parallel code uses it for its row transforms. It returns
+// the number of butterfly operations performed, which drives the virtual
+// cost model.
+func iterFFT(x []complex128) int64 {
+	n := len(x)
+	if n <= 1 {
+		return 0
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	var ops int64
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+				ops++
+			}
+		}
+	}
+	return ops
+}
+
+// randomInput generates a deterministic complex input vector with entries
+// in the unit square.
+func randomInput(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}

@@ -1,0 +1,214 @@
+// Package fft implements the paper's 1-D Fast Fourier Transform using the
+// transpose (six-step) algorithm: three all-to-all matrix transposes
+// interspersed with independent row FFTs and a twiddle multiplication.
+//
+// Communication pattern (Table 2): "Pers All to All" — personalized
+// all-to-all exchanges with very little computation between them. The paper
+// found no cluster-aware optimization for this pattern; FFT is the
+// reminder that some programs are unsuited for highly non-uniform
+// interconnects, so Job(optimized) runs the identical program.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+)
+
+// Config sizes an FFT run and sets its cost model.
+type Config struct {
+	// N is the number of complex points; must be an even power of two so
+	// the matrix is square (side = sqrt(N)).
+	N int
+	// Seed makes the input deterministic.
+	Seed int64
+	// OpCost is the virtual time charged per butterfly operation.
+	OpCost sim.Time
+	// TwiddleCost is the virtual time charged per twiddle multiplication.
+	TwiddleCost sim.Time
+	// BytesPerElem is the simulated wire size of one complex element;
+	// inflated above the physical 16 bytes so the reduced point count
+	// carries the paper's 2^20-point communication volume.
+	BytesPerElem int64
+}
+
+// Info is the registry entry (Table 2 row).
+var Info = apps.Info{
+	Name:         "FFT",
+	Pattern:      "Pers All to All",
+	Optimization: "(none found)",
+	HasOptimized: false,
+	New:          func(s apps.Scale, procs int) apps.Instance { return New(ConfigFor(s), procs) },
+}
+
+// ConfigFor returns the configuration for a scale. Paper scale is
+// calibrated against Table 1: speedup 32.9 (superlinear from cache effects,
+// which the model cannot reproduce; we approach 32), 128 MByte/s traffic,
+// 0.26 s runtime on 32 processors.
+func ConfigFor(s apps.Scale) Config {
+	switch s {
+	case apps.Tiny:
+		return Config{N: 256, Seed: 2, OpCost: sim.Microsecond,
+			TwiddleCost: 200 * sim.Nanosecond, BytesPerElem: 16}
+	case apps.Small:
+		return Config{N: 4096, Seed: 2, OpCost: 2 * sim.Microsecond,
+			TwiddleCost: 400 * sim.Nanosecond, BytesPerElem: 64}
+	default:
+		return Config{N: 1 << 16, Seed: 2, OpCost: 14 * sim.Microsecond,
+			TwiddleCost: 3 * sim.Microsecond, BytesPerElem: 180}
+	}
+}
+
+// FFT is one configured instance.
+type FFT struct {
+	cfg    Config
+	procs  int
+	side   int
+	result []complex128
+}
+
+// New builds an instance for the given processor count.
+func New(cfg Config, procs int) *FFT {
+	side := 1
+	for side*side < cfg.N {
+		side <<= 1
+	}
+	if side*side != cfg.N {
+		panic(fmt.Sprintf("fft: N=%d is not an even power of two", cfg.N))
+	}
+	return &FFT{cfg: cfg, procs: procs, side: side, result: make([]complex128, cfg.N)}
+}
+
+// rowsOf returns the matrix row range [lo, hi) owned by rank r.
+func (f *FFT) rowsOf(r int) (lo, hi int) {
+	return r * f.side / f.procs, (r + 1) * f.side / f.procs
+}
+
+// Job returns the SPMD body; the optimized flag is ignored (no optimization
+// exists for the transpose pattern).
+func (f *FFT) Job(bool) par.Job {
+	return func(e *par.Env) { f.run(e) }
+}
+
+// blockMsg carries the sub-block of the sender's rows that lands in the
+// receiver's rows after a transpose. rows[i][j] is the element at global
+// (senderRowLo+i, recvRowLo+j) before transposing.
+type blockMsg struct {
+	rowLo int // sender's first global row
+	rows  [][]complex128
+}
+
+// transpose performs one distributed matrix transpose (phase selects the
+// tag block). mat holds this rank's rows; the result holds this rank's rows
+// of the transposed matrix.
+func (f *FFT) transpose(e *par.Env, phase int, mat [][]complex128) [][]complex128 {
+	p := e.Size()
+	r := e.Rank()
+	myLo, myHi := f.rowsOf(r)
+	tag := par.Tag(100 + phase)
+
+	// Send each peer the sub-block that lands in its rows.
+	for s := 0; s < p; s++ {
+		if s == r {
+			continue
+		}
+		sLo, sHi := f.rowsOf(s)
+		block := make([][]complex128, len(mat))
+		for i := range mat {
+			block[i] = mat[i][sLo:sHi:sHi]
+		}
+		elems := len(mat) * (sHi - sLo)
+		e.Send(s, tag, blockMsg{myLo, block}, 32+int64(elems)*f.cfg.BytesPerElem)
+	}
+
+	// Assemble my rows of the transposed matrix.
+	out := make([][]complex128, myHi-myLo)
+	for i := range out {
+		out[i] = make([]complex128, f.side)
+	}
+	place := func(srcLo int, block [][]complex128) {
+		// block[i][j] = element (srcLo+i, myLo+j); transposed it is at
+		// (myLo+j, srcLo+i).
+		for i := range block {
+			for j := range block[i] {
+				out[j][srcLo+i] = block[i][j]
+			}
+		}
+	}
+	// Local block.
+	local := make([][]complex128, len(mat))
+	for i := range mat {
+		local[i] = mat[i][myLo:myHi]
+	}
+	place(myLo, local)
+	for k := 0; k < p-1; k++ {
+		m := e.Recv(tag)
+		bm := m.Data.(blockMsg)
+		place(bm.rowLo, bm.rows)
+	}
+	return out
+}
+
+func (f *FFT) run(e *par.Env) {
+	cfg := f.cfg
+	r := e.Rank()
+	lo, hi := f.rowsOf(r)
+	side := f.side
+
+	// Deterministic local initialization (zero virtual cost): my rows of
+	// the input matrix A[i][j] = x[i*side+j].
+	x := randomInput(cfg.N, cfg.Seed)
+	mat := make([][]complex128, hi-lo)
+	for i := range mat {
+		row := make([]complex128, side)
+		copy(row, x[(lo+i)*side:(lo+i+1)*side])
+		mat[i] = row
+	}
+
+	// Step 1: transpose.
+	mat = f.transpose(e, 0, mat)
+	// Step 2: FFT each row.
+	var ops int64
+	for i := range mat {
+		ops += iterFFT(mat[i])
+	}
+	e.ComputeUnits(ops, cfg.OpCost)
+	// Step 3: twiddle — element at global (j, i') gains w_n^{j*i'}.
+	for i := range mat {
+		gj := lo + i
+		for ip := 0; ip < side; ip++ {
+			ang := -2 * math.Pi * float64(gj) * float64(ip) / float64(cfg.N)
+			mat[i][ip] *= cmplx.Exp(complex(0, ang))
+		}
+	}
+	e.ComputeUnits(int64(len(mat)*side), cfg.TwiddleCost)
+	// Step 4: transpose.
+	mat = f.transpose(e, 1, mat)
+	// Step 5: FFT each row.
+	ops = 0
+	for i := range mat {
+		ops += iterFFT(mat[i])
+	}
+	e.ComputeUnits(ops, cfg.OpCost)
+	// Step 6: transpose; rows of the result, read row-major, are the DFT.
+	mat = f.transpose(e, 2, mat)
+	for i := range mat {
+		copy(f.result[(lo+i)*side:], mat[i])
+	}
+}
+
+// Check verifies the distributed transform against the sequential FFT.
+func (f *FFT) Check() error {
+	want := seqFFT(randomInput(f.cfg.N, f.cfg.Seed))
+	scale := math.Sqrt(float64(f.cfg.N)) // typical output magnitude
+	for i := range want {
+		if cmplx.Abs(f.result[i]-want[i]) > 1e-8*scale {
+			return fmt.Errorf("fft: element %d = %v, want %v", i, f.result[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+func TestSeqFFTMatchesDirectDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16, 64} {
+		x := randomInput(n, 3)
+		fast := seqFFT(x)
+		slow := directDFT(x)
+		for i := range fast {
+			if cmplx.Abs(fast[i]-slow[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d elem %d: fft %v, dft %v", n, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestIterFFTMatchesRecursive(t *testing.T) {
+	f := func(seed int64, sizeSel uint8) bool {
+		n := 1 << (sizeSel%8 + 1)
+		x := randomInput(n, seed)
+		it := append([]complex128(nil), x...)
+		ops := iterFFT(it)
+		rec := seqFFT(x)
+		if ops != int64(n/2)*int64(log2(n)) {
+			return false
+		}
+		for i := range it {
+			if cmplx.Abs(it[i]-rec[i]) > 1e-9*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// TestLinearity: DFT(a*x + y) == a*DFT(x) + DFT(y), a fundamental property
+// checked on the sequential reference.
+func TestDFTLinearityProperty(t *testing.T) {
+	f := func(s1, s2 int64, aRe, aIm float64) bool {
+		if aRe > 1e6 || aRe < -1e6 || aIm > 1e6 || aIm < -1e6 {
+			return true
+		}
+		const n = 32
+		a := complex(aRe, aIm)
+		x, y := randomInput(n, s1), randomInput(n, s2)
+		mix := make([]complex128, n)
+		for i := range mix {
+			mix[i] = a*x[i] + y[i]
+		}
+		fm := seqFFT(mix)
+		fx, fy := seqFFT(x), seqFFT(y)
+		for i := range fm {
+			if cmplx.Abs(fm[i]-(a*fx[i]+fy[i])) > 1e-6*(1+cmplx.Abs(a))*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelFFTCorrect(t *testing.T) {
+	topos := []*topology.Topology{
+		topology.SingleCluster(1),
+		topology.SingleCluster(4),
+		topology.MustUniform(2, 3),
+		topology.DAS(),
+	}
+	for _, topo := range topos {
+		t.Run(fmt.Sprint(topo), func(t *testing.T) {
+			inst := New(ConfigFor(apps.Tiny), topo.Procs())
+			if _, err := par.Run(topo, network.DefaultParams(), 5, inst.Job(false)); err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTransposeVolumeScalesWithClusters(t *testing.T) {
+	// Nearly all data crosses the wide area: with 4 clusters, 3/4 of each
+	// transpose's off-diagonal traffic is inter-cluster.
+	inst := New(ConfigFor(apps.Small), 32)
+	res, err := par.Run(topology.DAS(), network.DefaultParams(), 5, inst.Job(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Total transposed payload: 3 transposes x N elements x BytesPerElem,
+	// of which ~3/4 crosses clusters (ignoring headers).
+	payload := 3 * int64(inst.cfg.N) * inst.cfg.BytesPerElem
+	lo, hi := payload*6/10, payload*9/10
+	if res.WAN.Bytes < lo || res.WAN.Bytes > hi {
+		t.Errorf("WAN bytes = %d, want ~75%% of %d", res.WAN.Bytes, payload)
+	}
+}
+
+func TestFFTLatencySensitivity(t *testing.T) {
+	// FFT run time must degrade monotonically (and dramatically) as the WAN
+	// slows down — the paper's central negative result.
+	times := []sim.Time{}
+	for _, bw := range []float64{6e6, 0.3e6, 0.03e6} {
+		inst := New(ConfigFor(apps.Tiny), 8)
+		res, err := par.Run(topology.MustUniform(4, 2),
+			network.DefaultParams().WithWAN(3300*sim.Microsecond, bw), 5, inst.Job(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.Elapsed)
+	}
+	if !(times[0] < times[1] && times[1] < times[2]) {
+		t.Errorf("elapsed not monotone in bandwidth gap: %v", times)
+	}
+	if float64(times[2])/float64(times[0]) < 3 {
+		t.Errorf("expected dramatic slowdown at 30 KByte/s, got %.1fx", float64(times[2])/float64(times[0]))
+	}
+}
+
+func TestInfoMetadata(t *testing.T) {
+	if Info.HasOptimized {
+		t.Error("the paper found no FFT optimization")
+	}
+	if Info.Name != "FFT" {
+		t.Errorf("name %q", Info.Name)
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd power of two should panic")
+		}
+	}()
+	New(Config{N: 512}, 4) // 512 = 2^9, not a square
+}
+
+// TestParsevalProperty: the DFT preserves energy up to the factor n.
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 64
+		x := randomInput(n, seed)
+		X := seqFFT(x)
+		var et, ef float64
+		for i := 0; i < n; i++ {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		return math.Abs(ef-float64(n)*et) < 1e-6*ef
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package water
+
+import "math/rand"
+
+// Vec3 is a 3-component vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// pairForce computes a softened Lennard-Jones-like force of molecule j on
+// molecule i. The softening keeps the toy dynamics stable at any timestep,
+// which matters more here than physical fidelity: the simulation is the
+// workload, the verification target is bit-level agreement with the
+// sequential reference.
+func pairForce(pi, pj Vec3) Vec3 {
+	d := pi.Sub(pj)
+	r2 := d.Dot(d) + 0.5 // softening
+	inv := 1 / (r2 * r2)
+	return d.Scale(inv - 0.02/r2)
+}
+
+// initialState generates deterministic positions and velocities for n
+// molecules in a box.
+func initialState(n int, seed int64) (pos, vel []Vec3) {
+	rng := rand.New(rand.NewSource(seed))
+	pos = make([]Vec3, n)
+	vel = make([]Vec3, n)
+	for i := range pos {
+		pos[i] = Vec3{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		vel[i] = Vec3{rng.Float64() - 0.5, rng.Float64() - 0.5, rng.Float64() - 0.5}
+	}
+	return
+}
+
+// sequentialRun advances the reference simulation: full O(n^2) forces per
+// iteration, explicit Euler integration. The parallel code must reproduce
+// these positions up to floating-point summation order.
+func sequentialRun(n, iters int, seed int64, dt float64) []Vec3 {
+	pos, vel := initialState(n, seed)
+	force := make([]Vec3, n)
+	for it := 0; it < iters; it++ {
+		for i := range force {
+			force[i] = Vec3{}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				f := pairForce(pos[i], pos[j])
+				force[i] = force[i].Add(f)
+				force[j] = force[j].Sub(f)
+			}
+		}
+		for i := 0; i < n; i++ {
+			vel[i] = vel[i].Add(force[i].Scale(dt))
+			pos[i] = pos[i].Add(vel[i].Scale(dt))
+		}
+	}
+	return pos
+}

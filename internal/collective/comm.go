@@ -1,0 +1,109 @@
+// Package collective implements the fourteen MPI-1 collective communication
+// operations in two ways: a flat, topology-unaware style (the MPICH
+// algorithms of the paper's era) and a hierarchical, wide-area-optimal
+// style modelled on MagPIe (Section 6 of the paper; Kielmann et al.,
+// PPoPP'99).
+//
+// The MagPIe property is that every data item crosses each slow wide-area
+// link at most once, and every collective operation completes in a small
+// constant number of wide-area latencies. The flat algorithms, in
+// contrast, let their trees straddle cluster boundaries, so the same data
+// crosses the slow links many times — up to 10x slower on the paper's
+// 10 ms / 1 MByte/s configuration.
+package collective
+
+import (
+	"fmt"
+
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+)
+
+// Style selects the algorithm family of a Comm.
+type Style int
+
+const (
+	// Flat is the topology-unaware MPICH-like family.
+	Flat Style = iota
+	// Hierarchical is the two-level, cluster-aware MagPIe-like family.
+	Hierarchical
+)
+
+// String returns "flat" or "hierarchical".
+func (s Style) String() string {
+	if s == Flat {
+		return "flat"
+	}
+	return "hierarchical"
+}
+
+// elemBytes is the simulated wire size of one vector element.
+const elemBytes = 8
+
+// headerBytes is the per-message protocol header charged on the wire.
+const headerBytes = 16
+
+// Comm provides collective operations over all ranks of an SPMD program.
+// Like an MPI communicator, every rank must construct its own Comm with the
+// same style and then invoke the same sequence of collective calls.
+type Comm struct {
+	e     *par.Env
+	style Style
+	seq   int // per-rank operation counter; must stay aligned across ranks
+}
+
+// New returns a communicator for e using the given algorithm family.
+func New(e *par.Env, style Style) *Comm {
+	return &Comm{e: e, style: style}
+}
+
+// Env returns the underlying environment.
+func (c *Comm) Env() *par.Env { return c.e }
+
+// Style returns the communicator's algorithm family.
+func (c *Comm) Style() Style { return c.style }
+
+// nextTag starts a new collective operation and returns its base tag.
+// Collective tags are negative odd numbers at or below -3001, a range
+// disjoint from application tags (non-negative), RPC reply tags (negative
+// even) and the runtime barrier tags (-1001/-1003). Each operation gets a
+// block of tag slots so its phases cannot cross-talk with the next call.
+func (c *Comm) nextTag() par.Tag {
+	t := par.Tag(-(3001 + c.seq*tagStride))
+	c.seq++
+	return t
+}
+
+// tagStride is the number of tag slots reserved per collective call (even,
+// to preserve oddness of derived tags).
+const tagStride = 8
+
+// phase derives the tag for phase i (0..3) of an operation.
+func phase(base par.Tag, i int) par.Tag { return base - par.Tag(2*i) }
+
+// vecBytes is the wire size of a vector message.
+func vecBytes(n int) int64 { return headerBytes + int64(n)*elemBytes }
+
+// combineCostPerElem is the virtual compute time charged per vector element
+// when a reduction operator is applied.
+const combineCostPerElem = 10 * sim.Nanosecond
+
+// sizesOf returns the per-segment lengths of ragged segments.
+func sizesOf(segs [][]float64) []int {
+	out := make([]int, len(segs))
+	for i, s := range segs {
+		out[i] = len(s)
+	}
+	return out
+}
+
+// checkUniform verifies that all segments have equal length, the contract
+// of the non-"v" operations.
+func checkUniform(segs [][]float64, what string) {
+	for i := 1; i < len(segs); i++ {
+		if len(segs[i]) != len(segs[0]) {
+			panic(fmt.Sprintf("collective: %s requires equal segment sizes (use the v-variant); got %d and %d",
+				what, len(segs[0]), len(segs[i])))
+		}
+	}
+}

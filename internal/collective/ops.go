@@ -1,0 +1,102 @@
+package collective
+
+import "math"
+
+// Op is an associative, commutative reduction operator over float64
+// vectors, as used by Reduce, Allreduce, ReduceScatter and Scan.
+type Op struct {
+	// Name identifies the operator in output and errors.
+	Name string
+	// Combine folds src into dst element-wise; the slices have equal length.
+	Combine func(dst, src []float64)
+	// Identity is the operator's neutral element.
+	Identity float64
+}
+
+// Built-in reduction operators.
+var (
+	// Sum adds element-wise.
+	Sum = Op{
+		Name: "sum",
+		Combine: func(dst, src []float64) {
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		},
+		Identity: 0,
+	}
+	// Prod multiplies element-wise.
+	Prod = Op{
+		Name: "prod",
+		Combine: func(dst, src []float64) {
+			for i := range dst {
+				dst[i] *= src[i]
+			}
+		},
+		Identity: 1,
+	}
+	// Max takes the element-wise maximum.
+	Max = Op{
+		Name: "max",
+		Combine: func(dst, src []float64) {
+			for i := range dst {
+				if src[i] > dst[i] {
+					dst[i] = src[i]
+				}
+			}
+		},
+		Identity: negInf,
+	}
+	// Min takes the element-wise minimum.
+	Min = Op{
+		Name: "min",
+		Combine: func(dst, src []float64) {
+			for i := range dst {
+				if src[i] < dst[i] {
+					dst[i] = src[i]
+				}
+			}
+		},
+		Identity: posInf,
+	}
+)
+
+var (
+	posInf = math.Inf(1)
+	negInf = math.Inf(-1)
+)
+
+// clone copies a vector; reductions must not alias caller buffers.
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// concat flattens a set of segments into one vector.
+func concat(segs [][]float64) []float64 {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	out := make([]float64, 0, n)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// split cuts v into segments of the given lengths. It panics if the lengths
+// do not sum to len(v), which would indicate a protocol bug.
+func split(v []float64, lens []int) [][]float64 {
+	out := make([][]float64, len(lens))
+	off := 0
+	for i, n := range lens {
+		out[i] = v[off : off+n : off+n]
+		off += n
+	}
+	if off != len(v) {
+		panic("collective: split length mismatch")
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package core is the paper's sensitivity study itself: it sweeps the
+// two-layer interconnect's wide-area latency and bandwidth over four orders
+// of magnitude, runs each application in its unoptimized and cluster-aware
+// variants, and reports speedup relative to the all-Myrinet single-cluster
+// run — regenerating every table and figure in the evaluation section.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/apps/asp"
+	"twolayer/internal/apps/awari"
+	"twolayer/internal/apps/barneshut"
+	"twolayer/internal/apps/fft"
+	"twolayer/internal/apps/tsp"
+	"twolayer/internal/apps/water"
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+	"twolayer/internal/trace"
+)
+
+// Apps returns the six-application suite in the paper's Table 1 order.
+func Apps() []apps.Info {
+	return []apps.Info{
+		water.Info, barneshut.Info, tsp.Info, asp.Info, awari.Info, fft.Info,
+	}
+}
+
+// AppByName finds a registry entry by its paper name.
+func AppByName(name string) (apps.Info, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return apps.Info{}, fmt.Errorf("core: unknown application %q", name)
+}
+
+// The paper's sweep axes (Section 5.1): wide-area bandwidth in bytes/s and
+// one-way latency.
+var (
+	// Bandwidths are the delay-loop settings of the ATM links.
+	Bandwidths = []float64{6.3e6, 2.6e6, 0.95e6, 0.3e6, 0.1e6, 0.03e6}
+	// Latencies are the one-way wide-area latencies.
+	Latencies = []sim.Time{
+		500 * sim.Microsecond, 1300 * sim.Microsecond, 3300 * sim.Microsecond,
+		10 * sim.Millisecond, 30 * sim.Millisecond,
+		100 * sim.Millisecond, 300 * sim.Millisecond,
+	}
+)
+
+// DefaultSeed keeps every experiment deterministic.
+const DefaultSeed = 42
+
+// Experiment is one configured run.
+type Experiment struct {
+	App       apps.Info
+	Scale     apps.Scale
+	Optimized bool
+	Topo      *topology.Topology
+	Params    network.Params
+	// Verify re-checks the computed output against the sequential
+	// reference; disable it inside large sweeps (correctness is covered by
+	// the test suite).
+	Verify bool
+	// Configure, if non-nil, tweaks the freshly built network before the
+	// run (per-pair speeds, wide-area variability).
+	Configure func(*network.Network)
+	// Trace, if non-nil, records every message and compute span.
+	Trace *trace.Collector
+}
+
+// Run executes the experiment.
+func (x Experiment) Run() (par.Result, error) {
+	inst := x.App.New(x.Scale, x.Topo.Procs())
+	res, err := par.RunWith(x.Topo, par.Options{
+		Params:    x.Params,
+		Seed:      DefaultSeed,
+		Configure: x.Configure,
+		Trace:     x.Trace,
+	}, inst.Job(x.Optimized))
+	if err != nil {
+		return res, fmt.Errorf("core: %s (opt=%v) on %v: %w", x.App.Name, x.Optimized, x.Topo, err)
+	}
+	if x.Verify {
+		if err := inst.Check(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Baselines caches single-cluster reference runtimes per application, the
+// TL of the paper's relative-speedup metric. It is safe for concurrent use.
+type Baselines struct {
+	scale apps.Scale
+	mu    sync.Mutex
+	cache map[string]sim.Time
+}
+
+// NewBaselines creates an empty cache for the given scale.
+func NewBaselines(scale apps.Scale) *Baselines {
+	return &Baselines{scale: scale, cache: make(map[string]sim.Time)}
+}
+
+// SingleCluster returns the runtime of app on one all-Myrinet cluster of
+// the given size (the unoptimized program; on a single cluster the
+// cluster-aware changes are no-ops by construction).
+func (b *Baselines) SingleCluster(app apps.Info, procs int) (sim.Time, error) {
+	key := fmt.Sprintf("%s/%d", app.Name, procs)
+	b.mu.Lock()
+	if v, ok := b.cache[key]; ok {
+		b.mu.Unlock()
+		return v, nil
+	}
+	b.mu.Unlock()
+	res, err := Experiment{
+		App: app, Scale: b.scale, Optimized: false,
+		Topo: topology.SingleCluster(procs), Params: network.DefaultParams(),
+	}.Run()
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	b.cache[key] = res.Elapsed
+	b.mu.Unlock()
+	return res.Elapsed, nil
+}
+
+// RelativeSpeedup is the paper's Figure 3 metric: TL/TM as a percentage,
+// where TL is the single-cluster runtime with the same processor count and
+// TM the multi-cluster runtime.
+func RelativeSpeedup(singleCluster, multiCluster sim.Time) float64 {
+	if multiCluster <= 0 {
+		return 0
+	}
+	return 100 * float64(singleCluster) / float64(multiCluster)
+}
+
+// CommTimePercent is the paper's Figure 4 metric: (TM-TL)/TM as a
+// percentage — the share of the multi-cluster runtime attributable to
+// inter-cluster communication.
+func CommTimePercent(singleCluster, multiCluster sim.Time) float64 {
+	if multiCluster <= 0 {
+		return 0
+	}
+	v := 100 * float64(multiCluster-singleCluster) / float64(multiCluster)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// parallelism bounds concurrent simulations in sweeps.
+func parallelism() int {
+	n := runtime.NumCPU() - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// forEach runs fn(i) for i in [0,n) on a bounded worker pool and returns
+// the first error.
+func forEach(n int, fn func(i int) error) error {
+	sem := make(chan struct{}, parallelism())
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errCh <- fn(i)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

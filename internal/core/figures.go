@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/stats"
+	"twolayer/internal/topology"
+)
+
+// Figure3Panel is one of the paper's twelve speedup panels: relative
+// speedup (percent of the 32-processor all-Myrinet run) for every
+// latency/bandwidth combination, for one application variant.
+type Figure3Panel struct {
+	App       string
+	Optimized bool
+	// Latencies and Bandwidths are the axes; Rel[i][j] is the relative
+	// speedup at Latencies[i] x Bandwidths[j].
+	Latencies  []sim.Time
+	Bandwidths []float64
+	Rel        [][]float64
+}
+
+// Figure3Options narrows a sweep.
+type Figure3Options struct {
+	// Apps restricts the applications by name; empty means all six.
+	Apps []string
+	// Latencies and Bandwidths override the paper's axes; nil means the
+	// full grid.
+	Latencies  []sim.Time
+	Bandwidths []float64
+	// Topo overrides the machine; nil means the 4x8 DAS shape.
+	Topo *topology.Topology
+}
+
+// Figure3 sweeps the grid and returns one panel per (application, variant)
+// pair — twelve panels at full scope, matching the paper's figure (FFT
+// contributes a single panel, as in the paper). Runs execute concurrently;
+// results are deterministic regardless.
+func Figure3(scale apps.Scale, opts Figure3Options) ([]Figure3Panel, error) {
+	lats := opts.Latencies
+	if lats == nil {
+		lats = Latencies
+	}
+	bws := opts.Bandwidths
+	if bws == nil {
+		bws = Bandwidths
+	}
+	topo := opts.Topo
+	if topo == nil {
+		topo = topology.DAS()
+	}
+
+	type variant struct {
+		app apps.Info
+		opt bool
+	}
+	var variants []variant
+	for _, a := range Apps() {
+		if len(opts.Apps) > 0 && !nameIn(opts.Apps, a.Name) {
+			continue
+		}
+		variants = append(variants, variant{a, false})
+		if a.HasOptimized {
+			variants = append(variants, variant{a, true})
+		}
+	}
+
+	base := NewBaselines(scale)
+	panels := make([]Figure3Panel, len(variants))
+	type cell struct{ v, i, j int }
+	var cells []cell
+	for v := range variants {
+		panels[v] = Figure3Panel{
+			App:        variants[v].app.Name,
+			Optimized:  variants[v].opt,
+			Latencies:  lats,
+			Bandwidths: bws,
+			Rel:        make([][]float64, len(lats)),
+		}
+		for i := range lats {
+			panels[v].Rel[i] = make([]float64, len(bws))
+			for j := range bws {
+				cells = append(cells, cell{v, i, j})
+			}
+		}
+		// Warm the baseline cache sequentially to avoid duplicate runs.
+		if _, err := base.SingleCluster(variants[v].app, topo.Procs()); err != nil {
+			return nil, err
+		}
+	}
+
+	err := forEach(len(cells), func(k int) error {
+		c := cells[k]
+		v := variants[c.v]
+		res, err := Experiment{
+			App: v.app, Scale: scale, Optimized: v.opt, Topo: topo,
+			Params: network.DefaultParams().WithWAN(lats[c.i], bws[c.j]),
+		}.Run()
+		if err != nil {
+			return err
+		}
+		tl, err := base.SingleCluster(v.app, topo.Procs())
+		if err != nil {
+			return err
+		}
+		panels[c.v].Rel[c.i][c.j] = RelativeSpeedup(tl, res.Elapsed)
+		return nil
+	})
+	return panels, err
+}
+
+func nameIn(names []string, n string) bool {
+	for _, x := range names {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderFigure3Panel formats one panel as a latency x bandwidth table of
+// relative speedup percentages.
+func RenderFigure3Panel(p Figure3Panel) string {
+	variant := "unoptimized"
+	if p.Optimized {
+		variant = "optimized"
+	}
+	header := []string{fmt.Sprintf("%s (%s) lat\\bw", p.App, variant)}
+	for _, bw := range p.Bandwidths {
+		header = append(header, fmt.Sprintf("%.2gMB/s", bw/1e6))
+	}
+	t := stats.NewTable(header...)
+	for i, lat := range p.Latencies {
+		row := []any{lat.String()}
+		for j := range p.Bandwidths {
+			row = append(row, fmt.Sprintf("%.1f%%", p.Rel[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Figure4Curve is one application's inter-cluster communication-time
+// percentage along one axis of the paper's Figure 4.
+type Figure4Curve struct {
+	App       string
+	Optimized bool
+	X         []float64 // bandwidth in bytes/s or latency in ms
+	CommPct   []float64
+}
+
+// Figure4Bandwidth reproduces the left-hand graph: communication time
+// percentage as a function of wide-area bandwidth at 3.3 ms latency,
+// for the best (optimized where available) variant of each application.
+func Figure4Bandwidth(scale apps.Scale) ([]Figure4Curve, error) {
+	return figure4(scale, true)
+}
+
+// Figure4Latency reproduces the right-hand graph: communication time
+// percentage as a function of wide-area latency at 0.9 MByte/s.
+func Figure4Latency(scale apps.Scale) ([]Figure4Curve, error) {
+	return figure4(scale, false)
+}
+
+func figure4(scale apps.Scale, byBandwidth bool) ([]Figure4Curve, error) {
+	const fixedLatency = 3300 * sim.Microsecond
+	const fixedBandwidth = 0.9e6
+	base := NewBaselines(scale)
+	suite := Apps()
+	curves := make([]Figure4Curve, len(suite))
+	err := forEach(len(suite), func(i int) error {
+		app := suite[i]
+		tl, err := base.SingleCluster(app, topology.DAS().Procs())
+		if err != nil {
+			return err
+		}
+		curve := Figure4Curve{App: app.Name, Optimized: app.HasOptimized}
+		var xs []float64
+		if byBandwidth {
+			xs = Bandwidths
+		} else {
+			for _, l := range Latencies {
+				xs = append(xs, l.Milliseconds())
+			}
+		}
+		for k, x := range xs {
+			params := network.DefaultParams()
+			if byBandwidth {
+				params = params.WithWAN(fixedLatency, x)
+			} else {
+				params = params.WithWAN(Latencies[k], fixedBandwidth)
+			}
+			res, err := Experiment{
+				App: app, Scale: scale, Optimized: app.HasOptimized,
+				Topo: topology.DAS(), Params: params,
+			}.Run()
+			if err != nil {
+				return err
+			}
+			curve.X = append(curve.X, x)
+			curve.CommPct = append(curve.CommPct, CommTimePercent(tl, res.Elapsed))
+		}
+		curves[i] = curve
+		return nil
+	})
+	return curves, err
+}
+
+// RenderFigure4 formats a set of curves as a table with one column per
+// application.
+func RenderFigure4(curves []Figure4Curve, xLabel string) string {
+	header := []string{xLabel}
+	for _, c := range curves {
+		header = append(header, c.App)
+	}
+	t := stats.NewTable(header...)
+	if len(curves) == 0 {
+		return t.String()
+	}
+	for k := range curves[0].X {
+		row := []any{fmt.Sprintf("%.4g", curves[0].X[k])}
+		for _, c := range curves {
+			row = append(row, fmt.Sprintf("%.1f%%", c.CommPct[k]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

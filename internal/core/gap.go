@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"twolayer/internal/network"
+	"twolayer/internal/stats"
+)
+
+// GapResult is the paper's Section 5.1 "acceptable NUMA gap" analysis for
+// one application variant: the largest slow/fast speed ratio at which
+// relative speedup stays at or above the threshold.
+type GapResult struct {
+	App       string
+	Optimized bool
+	// BandwidthGap is intra-bandwidth / slowest acceptable WAN bandwidth,
+	// measured along the best-latency row; zero if even the fastest setting
+	// is below the threshold.
+	BandwidthGap float64
+	// LatencyGap is longest acceptable WAN latency / intra-latency,
+	// measured along the best-bandwidth column; zero as above.
+	LatencyGap float64
+}
+
+// GapAnalysis post-processes Figure 3 panels with the given acceptance
+// threshold (the paper uses 60 percent, and mentions 40 percent as the
+// point where extra clusters stop helping).
+func GapAnalysis(panels []Figure3Panel, thresholdPct float64) []GapResult {
+	params := network.DefaultParams()
+	var out []GapResult
+	for _, p := range panels {
+		g := GapResult{App: p.App, Optimized: p.Optimized}
+		// Bandwidth gap: walk the lowest-latency row toward slower links,
+		// stopping at the first setting below the threshold (the acceptable
+		// range must be contiguous from the fast end).
+		for j := range p.Bandwidths {
+			if p.Rel[0][j] < thresholdPct {
+				break
+			}
+			g.BandwidthGap = params.IntraBandwidth / p.Bandwidths[j]
+		}
+		// Latency gap: walk the best-bandwidth column toward longer
+		// latencies.
+		for i := range p.Latencies {
+			if p.Rel[i][0] < thresholdPct {
+				break
+			}
+			g.LatencyGap = float64(p.Latencies[i]) / float64(params.IntraLatency)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// RenderGaps formats the analysis.
+func RenderGaps(gaps []GapResult, thresholdPct float64) string {
+	t := stats.NewTable(
+		fmt.Sprintf("Program (>=%.0f%%)", thresholdPct),
+		"Variant", "Bandwidth gap", "Latency gap")
+	for _, g := range gaps {
+		variant := "unoptimized"
+		if g.Optimized {
+			variant = "optimized"
+		}
+		t.AddRow(g.App, variant,
+			fmt.Sprintf("%.0fx", g.BandwidthGap),
+			fmt.Sprintf("%.0fx", g.LatencyGap))
+	}
+	return t.String()
+}
+
+// OrdersOfMagnitude converts a ratio to decimal orders of magnitude.
+func OrdersOfMagnitude(ratio float64) float64 {
+	if ratio <= 0 {
+		return 0
+	}
+	oom := 0.0
+	for ratio >= 10 {
+		ratio /= 10
+		oom++
+	}
+	return oom + (ratio-1)/9 // linear interpolation within the decade
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"twolayer/internal/collective"
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+	"twolayer/internal/stats"
+	"twolayer/internal/topology"
+)
+
+// CollectiveResult compares the flat (MPICH-style) and hierarchical
+// (MagPIe-style) implementation of one collective operation, reproducing
+// Section 6's "up to 10x faster" comparison.
+type CollectiveResult struct {
+	Op       string
+	Flat     sim.Time
+	Hier     sim.Time
+	Speedup  float64 // Flat / Hier
+	Elements int
+}
+
+// collectiveOp executes one operation on every rank.
+func collectiveOp(name string, c *collective.Comm, elems int) {
+	e := c.Env()
+	data := make([]float64, elems)
+	for i := range data {
+		data[i] = float64(e.Rank()*elems + i)
+	}
+	segs := make([][]float64, e.Size())
+	for d := range segs {
+		seg := make([]float64, elems)
+		for i := range seg {
+			seg[i] = float64(d + i)
+		}
+		segs[d] = seg
+	}
+	counts := make([]int, e.Size())
+	total := 0
+	for i := range counts {
+		counts[i] = elems / e.Size()
+		if counts[i] == 0 {
+			counts[i] = 1
+		}
+		total += counts[i]
+	}
+	full := make([]float64, total)
+
+	switch name {
+	case "Barrier":
+		c.Barrier()
+	case "Bcast":
+		var in []float64
+		if e.Rank() == 0 {
+			in = data
+		}
+		c.Bcast(0, in)
+	case "Gather":
+		c.Gather(0, data)
+	case "Gatherv":
+		c.Gatherv(0, data[:e.Rank()%elems+1])
+	case "Scatter":
+		var in [][]float64
+		if e.Rank() == 0 {
+			in = segs
+		}
+		c.Scatter(0, in)
+	case "Scatterv":
+		var in [][]float64
+		if e.Rank() == 0 {
+			in = make([][]float64, e.Size())
+			for d := range in {
+				in[d] = segs[d][:d%elems+1]
+			}
+		}
+		c.Scatterv(0, in)
+	case "Allgather":
+		c.Allgather(data)
+	case "Allgatherv":
+		c.Allgatherv(data[:e.Rank()%elems+1])
+	case "Alltoall":
+		c.Alltoall(segs)
+	case "Alltoallv":
+		ragged := make([][]float64, e.Size())
+		for d := range ragged {
+			ragged[d] = segs[d][:d%elems+1]
+		}
+		c.Alltoallv(ragged)
+	case "Reduce":
+		c.Reduce(0, data, collective.Sum)
+	case "Allreduce":
+		c.Allreduce(data, collective.Sum)
+	case "ReduceScatter":
+		c.ReduceScatter(full, counts, collective.Sum)
+	case "Scan":
+		c.Scan(data, collective.Sum)
+	default:
+		panic(fmt.Sprintf("core: unknown collective %q", name))
+	}
+}
+
+// CollectiveComparison times reps invocations of every MPI-1 collective in
+// both styles on the given machine and wide-area setting. The paper's
+// Section 6 reference point is 4 clusters, 10 ms latency, 1 MByte/s.
+func CollectiveComparison(topo *topology.Topology, params network.Params, elems, reps int) ([]CollectiveResult, error) {
+	ops := collective.OpNames
+	results := make([]CollectiveResult, len(ops))
+	err := forEach(len(ops), func(i int) error {
+		op := ops[i]
+		times := map[collective.Style]sim.Time{}
+		for _, style := range []collective.Style{collective.Flat, collective.Hierarchical} {
+			res, err := par.Run(topo, params, DefaultSeed, func(e *par.Env) {
+				c := collective.New(e, style)
+				for k := 0; k < reps; k++ {
+					collectiveOp(op, c, elems)
+				}
+			})
+			if err != nil {
+				return fmt.Errorf("core: collective %s (%v): %w", op, style, err)
+			}
+			times[style] = res.Elapsed / sim.Time(reps)
+		}
+		results[i] = CollectiveResult{
+			Op:       op,
+			Flat:     times[collective.Flat],
+			Hier:     times[collective.Hierarchical],
+			Speedup:  float64(times[collective.Flat]) / float64(times[collective.Hierarchical]),
+			Elements: elems,
+		}
+		return nil
+	})
+	return results, err
+}
+
+// RenderCollectives formats the comparison.
+func RenderCollectives(results []CollectiveResult) string {
+	t := stats.NewTable("Operation", "Flat (MPICH-like)", "Hierarchical (MagPIe-like)", "Speedup")
+	for _, r := range results {
+		t.AddRow(r.Op, r.Flat.String(), r.Hier.String(), fmt.Sprintf("%.1fx", r.Speedup))
+	}
+	return t.String()
+}

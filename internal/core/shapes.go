@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/stats"
+	"twolayer/internal/topology"
+)
+
+// ShapeResult is one point of the Section 5.1 cluster-structure experiment:
+// the same 32 processors arranged as different numbers of clusters, on a
+// fully connected wide-area mesh.
+type ShapeResult struct {
+	App      string
+	Shape    string
+	Clusters int
+	Elapsed  sim.Time
+	RelPct   float64 // relative to the single-cluster run
+}
+
+// DefaultShapes are the 32-processor arrangements the study compares.
+func DefaultShapes() []*topology.Topology {
+	return []*topology.Topology{
+		topology.MustUniform(2, 16),
+		topology.MustUniform(4, 8),
+		topology.MustUniform(8, 4),
+	}
+}
+
+// ClusterShapeStudy runs the optimized variants over the shapes at the
+// given wide-area setting. On the fully connected mesh, more and smaller
+// clusters add bisection bandwidth, so bandwidth-bound applications speed
+// up even though fast links were replaced by slow ones.
+func ClusterShapeStudy(scale apps.Scale, appNames []string, wanLatency sim.Time, wanBandwidth float64) ([]ShapeResult, error) {
+	base := NewBaselines(scale)
+	shapes := DefaultShapes()
+	type cellKey struct{ app, shape int }
+	var suite []apps.Info
+	for _, n := range appNames {
+		a, err := AppByName(n)
+		if err != nil {
+			return nil, err
+		}
+		suite = append(suite, a)
+	}
+	var cells []cellKey
+	for a := range suite {
+		for s := range shapes {
+			cells = append(cells, cellKey{a, s})
+		}
+		if _, err := base.SingleCluster(suite[a], 32); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]ShapeResult, len(cells))
+	err := forEach(len(cells), func(k int) error {
+		c := cells[k]
+		app, topo := suite[c.app], shapes[c.shape]
+		res, err := Experiment{
+			App: app, Scale: scale, Optimized: app.HasOptimized, Topo: topo,
+			Params: network.DefaultParams().WithWAN(wanLatency, wanBandwidth),
+		}.Run()
+		if err != nil {
+			return err
+		}
+		tl, err := base.SingleCluster(app, 32)
+		if err != nil {
+			return err
+		}
+		results[k] = ShapeResult{
+			App:      app.Name,
+			Shape:    topo.String(),
+			Clusters: topo.Clusters(),
+			Elapsed:  res.Elapsed,
+			RelPct:   RelativeSpeedup(tl, res.Elapsed),
+		}
+		return nil
+	})
+	return results, err
+}
+
+// RenderShapes formats the study.
+func RenderShapes(results []ShapeResult) string {
+	t := stats.NewTable("Program", "Shape", "Runtime", "Relative speedup")
+	for _, r := range results {
+		t.AddRow(r.App, r.Shape, r.Elapsed.String(), fmt.Sprintf("%.1f%%", r.RelPct))
+	}
+	return t.String()
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/stats"
+	"twolayer/internal/topology"
+)
+
+// Table1Row reproduces one row of the paper's Table 1: single-cluster
+// behaviour of an application.
+type Table1Row struct {
+	App        string
+	Speedup32  float64
+	Speedup8   float64
+	TrafficMBs float64 // total fast-network traffic rate on 32 processors
+	Runtime    sim.Time
+}
+
+// Table1 measures every application on single all-Myrinet clusters of 1, 8
+// and 32 processors.
+func Table1(scale apps.Scale) ([]Table1Row, error) {
+	rows := make([]Table1Row, len(Apps()))
+	err := forEach(len(Apps()), func(i int) error {
+		app := Apps()[i]
+		var t1, t8, t32 sim.Time
+		var traffic float64
+		for _, procs := range []int{1, 8, 32} {
+			res, err := Experiment{
+				App: app, Scale: scale, Optimized: false,
+				Topo: topology.SingleCluster(procs), Params: network.DefaultParams(),
+			}.Run()
+			if err != nil {
+				return err
+			}
+			switch procs {
+			case 1:
+				t1 = res.Elapsed
+			case 8:
+				t8 = res.Elapsed
+			case 32:
+				t32 = res.Elapsed
+				traffic = float64(res.Intra.Bytes) / 1e6 / res.Elapsed.Seconds()
+			}
+		}
+		rows[i] = Table1Row{
+			App:        app.Name,
+			Speedup32:  float64(t1) / float64(t32),
+			Speedup8:   float64(t1) / float64(t8),
+			TrafficMBs: traffic,
+			Runtime:    t32,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// RenderTable1 formats Table 1 like the paper.
+func RenderTable1(rows []Table1Row) string {
+	t := stats.NewTable("Program", "Speedup 32p", "Speedup 8p", "Traffic 32p MByte/s", "Runtime 32p")
+	for _, r := range rows {
+		t.AddRow(r.App, r.Speedup32, r.Speedup8, r.TrafficMBs, r.Runtime.String())
+	}
+	return t.String()
+}
+
+// Table2Row is a row of the paper's Table 2: communication pattern and
+// cluster-aware optimization per application.
+type Table2Row struct {
+	App          string
+	Pattern      string
+	Optimization string
+	HasOptimized bool
+}
+
+// Table2 returns the application metadata.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, a := range Apps() {
+		rows = append(rows, Table2Row{a.Name, a.Pattern, a.Optimization, a.HasOptimized})
+	}
+	return rows
+}
+
+// RenderTable2 formats Table 2 like the paper.
+func RenderTable2() string {
+	t := stats.NewTable("Program", "Communication", "Optimization")
+	for _, r := range Table2() {
+		t.AddRow(r.App, r.Pattern, r.Optimization)
+	}
+	return t.String()
+}
+
+// Figure1Point is one application's inter-cluster traffic in the paper's
+// Figure 1 scatter plot: per-cluster outgoing wide-area volume and message
+// rate on the 4x8 system at 6 MByte/s / 0.5 ms, unoptimized.
+type Figure1Point struct {
+	App            string
+	VolumeMBs      float64 // MByte/s per cluster
+	MessagesPerSec float64 // messages/s per cluster
+}
+
+// Figure1 measures the unoptimized applications' inter-cluster traffic at
+// the paper's reference setting.
+func Figure1(scale apps.Scale) ([]Figure1Point, error) {
+	params := network.DefaultParams().WithWAN(500*sim.Microsecond, 6.0e6)
+	points := make([]Figure1Point, len(Apps()))
+	err := forEach(len(Apps()), func(i int) error {
+		app := Apps()[i]
+		res, err := Experiment{
+			App: app, Scale: scale, Optimized: false,
+			Topo: topology.DAS(), Params: params,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		secs := res.Elapsed.Seconds()
+		var vol, msgs []float64
+		for _, c := range res.ClusterWANOut {
+			vol = append(vol, float64(c.Bytes)/1e6/secs)
+			msgs = append(msgs, float64(c.Messages)/secs)
+		}
+		points[i] = Figure1Point{
+			App:            app.Name,
+			VolumeMBs:      stats.Mean(vol),
+			MessagesPerSec: stats.Mean(msgs),
+		}
+		return nil
+	})
+	return points, err
+}
+
+// RenderFigure1 formats the Figure 1 data as a table.
+func RenderFigure1(points []Figure1Point) string {
+	t := stats.NewTable("Program", "Volume MByte/s per cluster", "Messages/s per cluster")
+	for _, p := range points {
+		t.AddRow(p.App, p.VolumeMBs, p.MessagesPerSec)
+	}
+	return t.String()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/stats"
+	"twolayer/internal/topology"
+)
+
+// The paper closes its introduction with: "Further research should study
+// the impact of variations in latency and bandwidth, which often occur on
+// wide area links." This file is that study: it reruns the optimized
+// applications with deterministic pseudo-random fluctuation on the
+// wide-area links and measures the slowdown relative to the equivalent
+// stable links.
+
+// VariabilityResult is one application's sensitivity to wide-area
+// fluctuation.
+type VariabilityResult struct {
+	App       string
+	Optimized bool
+	// Stable is the runtime with fixed links at the base speed.
+	Stable sim.Time
+	// Variable is the runtime with fluctuation applied.
+	Variable sim.Time
+	// SlowdownPct is (Variable-Stable)/Stable as a percentage.
+	SlowdownPct float64
+}
+
+// VariabilityStudy measures the suite (optimized variants) at the given
+// base wide-area speed, with and without the fluctuation model. The
+// fluctuation only ever degrades links relative to the base speed, so the
+// slowdown isolates the cost of *variation* on top of the mean gap.
+func VariabilityStudy(scale apps.Scale, base network.Params, v network.Variability) ([]VariabilityResult, error) {
+	suite := Apps()
+	results := make([]VariabilityResult, len(suite))
+	err := forEach(len(suite), func(i int) error {
+		app := suite[i]
+		stable, err := Experiment{
+			App: app, Scale: scale, Optimized: app.HasOptimized,
+			Topo: topology.DAS(), Params: base,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		variable, err := Experiment{
+			App: app, Scale: scale, Optimized: app.HasOptimized,
+			Topo: topology.DAS(), Params: base,
+			Configure: func(n *network.Network) { n.SetVariability(v) },
+		}.Run()
+		if err != nil {
+			return err
+		}
+		results[i] = VariabilityResult{
+			App:       app.Name,
+			Optimized: app.HasOptimized,
+			Stable:    stable.Elapsed,
+			Variable:  variable.Elapsed,
+			SlowdownPct: 100 * float64(variable.Elapsed-stable.Elapsed) /
+				float64(stable.Elapsed),
+		}
+		return nil
+	})
+	return results, err
+}
+
+// RenderVariability formats the study.
+func RenderVariability(results []VariabilityResult, v network.Variability) string {
+	t := stats.NewTable("Program", "Stable links", "Variable links", "Slowdown")
+	for _, r := range results {
+		t.AddRow(r.App, r.Stable.String(), r.Variable.String(),
+			fmt.Sprintf("%+.1f%%", r.SlowdownPct))
+	}
+	return fmt.Sprintf("wide-area variability: up to +%v latency jitter, up to -%.0f%% bandwidth per %v episode\n%s",
+		v.LatencyJitter, 100*v.BandwidthFactor, v.Period, t.String())
+}

@@ -1,0 +1,384 @@
+// Package dsm implements a page-based software distributed shared memory
+// over the simulated two-layer machine — the competing programming model
+// the paper's Section 2 surveys (MGS, TreadMarks, SoftFLASH, CashMere,
+// Shasta). The paper's applications avoid DSM because fine-grain coherence
+// traffic is exactly what a large NUMA gap punishes; this package makes
+// that argument measurable.
+//
+// The protocol is home-based, sequentially consistent, single writer /
+// multiple reader with invalidation:
+//
+//   - every page has a home processor holding the directory (sharers,
+//     current writer) and, when no writer holds it, the current data;
+//   - a read fault fetches the page from its home (recalling it from an
+//     exclusive writer first) and registers the reader as a sharer;
+//   - a write fault obtains exclusivity: the home invalidates all sharers,
+//     recalls any current writer, and ships the page.
+//
+// Processors blocked on a fault keep serving incoming protocol requests
+// (invalidations, recalls, directory duties), so faults cannot deadlock —
+// the same serve-while-blocked discipline as the Orca layer.
+package dsm
+
+import (
+	"fmt"
+	"sort"
+
+	"twolayer/internal/par"
+)
+
+// wordBytes is the simulated size of one shared word.
+const wordBytes = 8
+
+// tagDSM carries all protocol traffic so blocked processors can serve
+// whatever arrives.
+const tagDSM par.Tag = 950000
+
+type pageState uint8
+
+const (
+	invalid pageState = iota
+	shared
+	exclusive
+)
+
+// page is a processor's view of one page.
+type page struct {
+	state pageState
+	data  []float64
+
+	// Directory fields, meaningful at the page's home.
+	sharers map[int]bool
+	writer  int // rank holding exclusivity, -1 if none
+	busy    bool
+	pending []wire // fault requests deferred while a transaction runs
+}
+
+// message kinds.
+type kind uint8
+
+const (
+	kReadFault kind = iota
+	kWriteFault
+	kFaultReply
+	kInvalidate
+	kInvalAck
+	kRecall
+	kRecallReply
+	kBarrier
+	kBarrierGo
+	kDone
+	kStop
+)
+
+type wire struct {
+	kind    kind
+	page    int
+	from    int
+	callID  int
+	data    []float64
+	upgrade bool // recall for a writer (data needed) vs plain invalidate
+}
+
+// DSM is one processor's handle to the shared address space.
+type DSM struct {
+	e         *par.Env
+	words     int
+	pageWords int
+	pages     []*page
+
+	nextCall int
+	replies  map[int]wire
+
+	// Statistics.
+	ReadFaults  int
+	WriteFaults int
+	Invals      int
+
+	// Barrier/termination state at rank 0.
+	barrierIn int
+	doneIn    int
+	stopped   bool
+}
+
+// New creates the shared space of words float64 words split into pages of
+// pageWords each; every processor must call it with identical arguments.
+// Pages are homed round-robin. Initial contents are zero; page data starts
+// valid at its home.
+func New(e *par.Env, words, pageWords int) *DSM {
+	if pageWords <= 0 || words <= 0 {
+		panic("dsm: sizes must be positive")
+	}
+	n := (words + pageWords - 1) / pageWords
+	d := &DSM{
+		e: e, words: words, pageWords: pageWords,
+		pages:   make([]*page, n),
+		replies: make(map[int]wire),
+	}
+	for i := range d.pages {
+		p := &page{writer: -1}
+		if d.home(i) == e.Rank() {
+			p.state = shared
+			p.data = make([]float64, pageWords)
+			p.sharers = map[int]bool{e.Rank(): true}
+		}
+		d.pages[i] = p
+	}
+	return d
+}
+
+// home returns the directory processor of a page.
+func (d *DSM) home(pg int) int { return pg % d.e.Size() }
+
+// pageOf maps a word address to its page and offset.
+func (d *DSM) pageOf(addr int) (pg, off int) {
+	if addr < 0 || addr >= d.words {
+		panic(fmt.Sprintf("dsm: address %d out of range [0,%d)", addr, d.words))
+	}
+	return addr / d.pageWords, addr % d.pageWords
+}
+
+// Read returns the word at addr, faulting the page in if needed. The
+// access retries after the fault: the grant can be snatched away by a
+// recall served during a nested protocol wait, exactly as a real DSM
+// restarts the faulting instruction.
+func (d *DSM) Read(addr int) float64 {
+	pg, off := d.pageOf(addr)
+	p := d.pages[pg]
+	for p.state == invalid {
+		d.fault(pg, false)
+	}
+	return p.data[off]
+}
+
+// Write stores the word at addr, obtaining page exclusivity if needed (and
+// retrying like Read if the grant is recalled before the store).
+func (d *DSM) Write(addr int, v float64) {
+	pg, off := d.pageOf(addr)
+	p := d.pages[pg]
+	for p.state != exclusive {
+		d.fault(pg, true)
+	}
+	p.data[off] = v
+}
+
+// fault brings the page in (write=true for exclusivity), serving protocol
+// traffic while waiting.
+func (d *DSM) fault(pg int, write bool) {
+	if write {
+		d.WriteFaults++
+	} else {
+		d.ReadFaults++
+	}
+	k := kReadFault
+	if write {
+		k = kWriteFault
+	}
+	d.nextCall++
+	id := d.nextCall
+	d.send(d.home(pg), wire{kind: k, page: pg, from: d.e.Rank(), callID: id}, 64)
+	// The grant itself is applied in handle() the moment the reply is
+	// received (it may arrive inside a nested protocol wait, and a recall
+	// queued behind it must observe the applied state); this loop only
+	// waits for the completion marker.
+	for {
+		if _, ok := d.replies[id]; ok {
+			delete(d.replies, id)
+			return
+		}
+		d.serveOne()
+	}
+}
+
+// pageBytes is the wire size of a page transfer.
+func (d *DSM) pageBytes() int64 { return 64 + int64(d.pageWords)*wordBytes }
+
+func (d *DSM) send(to int, w wire, bytes int64) { d.e.Send(to, tagDSM, w, bytes) }
+
+// serveOne blocks for one protocol message and handles it.
+func (d *DSM) serveOne() { d.handle(d.e.Recv(tagDSM).Data.(wire)) }
+
+// Poll serves queued protocol traffic without blocking; call it during
+// long computations so remote faults are not starved.
+func (d *DSM) Poll() {
+	for {
+		m, ok := d.e.TryRecv(par.AnySender, tagDSM)
+		if !ok {
+			return
+		}
+		d.handle(m.Data.(wire))
+	}
+}
+
+// handle runs the directory and holder sides of the protocol. Directory
+// operations that need remote recalls/invalidations block serving nested
+// traffic, which is safe: every wait only depends on parties that serve
+// while blocked too.
+func (d *DSM) handle(w wire) {
+	switch w.kind {
+	case kReadFault, kWriteFault:
+		// Directory transactions on one page serialize: the await points
+		// inside a transaction serve other traffic, so a second fault on
+		// the same page must wait its turn in the pending queue.
+		pg := d.pages[w.page]
+		if pg.busy {
+			pg.pending = append(pg.pending, w)
+			return
+		}
+		pg.busy = true
+		for {
+			d.directoryFault(pg, w)
+			if len(pg.pending) == 0 {
+				break
+			}
+			w = pg.pending[0]
+			pg.pending = pg.pending[1:]
+		}
+		pg.busy = false
+	case kFaultReply:
+		// Apply the grant immediately (see fault); the waiter just needs
+		// the completion marker.
+		p := d.pages[w.page]
+		p.data = w.data
+		if w.upgrade {
+			p.state = exclusive
+		} else {
+			p.state = shared
+		}
+		d.replies[w.callID] = w
+	case kInvalAck, kRecallReply:
+		d.replies[w.callID] = w
+	case kInvalidate:
+		d.Invals++
+		d.pages[w.page].state = invalid
+		d.send(w.from, wire{kind: kInvalAck, callID: w.callID}, 32)
+	case kRecall:
+		p := d.pages[w.page]
+		data := clone(p.data)
+		p.state = invalid
+		d.send(w.from, wire{kind: kRecallReply, callID: w.callID, data: data}, d.pageBytes())
+	case kBarrier:
+		d.barrierIn++
+	case kBarrierGo:
+		d.barrierIn = -1 // marker: release received
+	case kDone:
+		d.doneIn++
+	case kStop:
+		d.stopped = true
+	}
+}
+
+// directoryFault runs one serialized directory transaction at the home.
+func (d *DSM) directoryFault(pg *page, w wire) {
+	e := d.e
+	// Recall from an exclusive writer, if any.
+	if pg.writer >= 0 && pg.writer != w.from {
+		d.nextCall++
+		id := d.nextCall
+		d.send(pg.writer, wire{kind: kRecall, page: w.page, from: e.Rank(), callID: id, upgrade: true}, 64)
+		rep := d.await(id)
+		pg.data = rep.data
+		pg.state = shared // the home holds a valid copy again
+		pg.sharers = map[int]bool{e.Rank(): true}
+		pg.writer = -1
+	}
+	if w.kind == kWriteFault {
+		// Invalidate every sharer except the requester, in rank order (map
+		// iteration order would make the simulation non-deterministic).
+		var order []int
+		for s := range pg.sharers {
+			if s != w.from && s != e.Rank() {
+				order = append(order, s)
+			}
+		}
+		sort.Ints(order)
+		for _, s := range order {
+			d.nextCall++
+			id := d.nextCall
+			d.send(s, wire{kind: kInvalidate, page: w.page, from: e.Rank(), callID: id}, 64)
+			d.await(id)
+		}
+		// The home's own copy is invalid too while a writer holds it
+		// (unless the writer is the home itself; fault() upgrades it).
+		if w.from != e.Rank() {
+			pg.state = invalid
+		}
+		pg.sharers = map[int]bool{}
+		pg.writer = w.from
+	} else {
+		pg.sharers[w.from] = true
+	}
+	d.send(w.from, wire{
+		kind: kFaultReply, callID: w.callID, page: w.page,
+		upgrade: w.kind == kWriteFault, data: clone(pg.data),
+	}, d.pageBytes())
+}
+
+// await blocks until reply callID arrives, serving other traffic meanwhile.
+func (d *DSM) await(id int) wire {
+	for {
+		if w, ok := d.replies[id]; ok {
+			delete(d.replies, id)
+			return w
+		}
+		d.serveOne()
+	}
+}
+
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Barrier synchronizes all processors while keeping the coherence protocol
+// responsive (a plain runtime barrier would deadlock a rank whose page is
+// being recalled while it waits).
+func (d *DSM) Barrier() {
+	e := d.e
+	if e.Rank() == 0 {
+		for d.barrierIn < e.Size()-1 {
+			d.serveOne()
+		}
+		d.barrierIn = 0
+		for r := 1; r < e.Size(); r++ {
+			d.send(r, wire{kind: kBarrierGo}, 32)
+		}
+		return
+	}
+	d.send(0, wire{kind: kBarrier}, 32)
+	for d.barrierIn != -1 {
+		d.serveOne()
+	}
+	d.barrierIn = 0
+}
+
+// Shutdown ends the epoch: every processor calls it after its last access;
+// all keep serving until rank 0 has heard from everyone and broadcast the
+// stop. After Shutdown no faults may be issued.
+func (d *DSM) Shutdown() {
+	e := d.e
+	if e.Rank() == 0 {
+		for d.doneIn < e.Size()-1 {
+			d.serveOne()
+		}
+		for r := 1; r < e.Size(); r++ {
+			d.send(r, wire{kind: kStop}, 32)
+		}
+		return
+	}
+	d.send(0, wire{kind: kDone}, 32)
+	for !d.stopped {
+		d.serveOne()
+	}
+}
+
+// ReadAll collects the authoritative contents of the whole space at the
+// caller (for verification): it faults every page in for reading.
+func (d *DSM) ReadAll() []float64 {
+	out := make([]float64, d.words)
+	for i := 0; i < d.words; i++ {
+		out[i] = d.Read(i)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package micro
+
+import (
+	"strings"
+	"testing"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+func measure(t *testing.T, params network.Params, reps int, bytes int64) map[string]Result {
+	t.Helper()
+	results, err := Measure(topology.DAS(), params, reps, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]Result{}
+	for _, r := range results {
+		out[r.Pattern] = r
+	}
+	return out
+}
+
+func TestPatternsRunEverywhere(t *testing.T) {
+	topos := []*topology.Topology{
+		topology.SingleCluster(4),
+		topology.MustUniform(2, 3),
+		topology.MustUniform(3, 2),
+		topology.DAS(),
+	}
+	for _, topo := range topos {
+		if _, err := Measure(topo, network.DefaultParams(), 2, 256); err != nil {
+			t.Errorf("%v: %v", topo, err)
+		}
+	}
+}
+
+func TestNullRPCIsLatencyBound(t *testing.T) {
+	// Doubling latency roughly doubles the null-RPC per-op cost; slashing
+	// bandwidth barely moves it (the message is tiny).
+	base := network.DefaultParams().WithWAN(10*sim.Millisecond, 1e6)
+	fast := measure(t, base, 8, 16)["null-rpc"]
+	doubleLat := measure(t, base.WithWAN(20*sim.Millisecond, 1e6), 8, 16)["null-rpc"]
+	lowBW := measure(t, base.WithWAN(10*sim.Millisecond, 0.1e6), 8, 16)["null-rpc"]
+	ratio := float64(doubleLat.PerOp) / float64(fast.PerOp)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("latency scaling ratio %.2f, want ~2", ratio)
+	}
+	if float64(lowBW.PerOp)/float64(fast.PerOp) > 1.2 {
+		t.Errorf("null-rpc should be bandwidth-insensitive: %v vs %v", lowBW.PerOp, fast.PerOp)
+	}
+}
+
+func TestStreamIsBandwidthBound(t *testing.T) {
+	// With large messages, halving bandwidth doubles the stream cost, and
+	// latency barely matters.
+	base := network.DefaultParams().WithWAN(sim.Millisecond, 1e6)
+	fast := measure(t, base, 16, 100_000)["stream"]
+	halfBW := measure(t, base.WithWAN(sim.Millisecond, 0.5e6), 16, 100_000)["stream"]
+	highLat := measure(t, base.WithWAN(10*sim.Millisecond, 1e6), 16, 100_000)["stream"]
+	ratio := float64(halfBW.PerOp) / float64(fast.PerOp)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("bandwidth scaling ratio %.2f, want ~2", ratio)
+	}
+	if float64(highLat.PerOp)/float64(fast.PerOp) > 1.2 {
+		t.Errorf("stream should be latency-insensitive: %v vs %v", highLat.PerOp, fast.PerOp)
+	}
+	// Achieved throughput approaches the per-link limit times active links.
+	if fast.WANBytesPerSec < 0.5e6 {
+		t.Errorf("stream throughput only %.0f B/s", fast.WANBytesPerSec)
+	}
+}
+
+func TestHotSpotSerializes(t *testing.T) {
+	// The hot-spot server bounds throughput: with 31 clients the per-op
+	// cost cannot beat the server's per-request handling time.
+	res := measure(t, network.DefaultParams(), 4, 1024)["hot-spot"]
+	if res.PerOp <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	// All-to-all on the same machine moves vastly more data per op.
+	a2a := measure(t, network.DefaultParams(), 4, 1024)["all-to-all"]
+	if a2a.WANBytesPerSec <= res.WANBytesPerSec {
+		t.Errorf("all-to-all should out-stream the hot spot: %.0f vs %.0f",
+			a2a.WANBytesPerSec, res.WANBytesPerSec)
+	}
+}
+
+func TestRender(t *testing.T) {
+	results, err := Measure(topology.DAS(), network.DefaultParams(), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Render(results)
+	for _, want := range []string{"null-rpc", "stream", "all-to-all", "hot-spot"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package mpi offers a familiar MPI-1-flavoured interface over the
+// simulated two-layer machine. MagPIe, the system behind the paper's
+// Section 6, was built as a drop-in library for MPICH; this package plays
+// the same role for the simulator: programs written against communicators,
+// point-to-point sends and collective operations run unchanged while the
+// collective algorithms switch between topology-unaware (flat) and
+// wide-area-optimal (hierarchical) implementations.
+//
+// Scope: the MPI-1 surface the paper's programs need — COMM_WORLD,
+// Comm_split, blocking and non-blocking point-to-point with communicator
+// context isolation, Sendrecv, and the collective operations (the full
+// MagPIe set on COMM_WORLD, binomial implementations on subcommunicators).
+// Wildcard receives support AnySource; wildcard tags are not supported.
+package mpi
+
+import (
+	"fmt"
+
+	"twolayer/internal/collective"
+	"twolayer/internal/par"
+)
+
+// AnySource matches any sender in Recv/Irecv.
+const AnySource = -1
+
+// maxUserTag bounds user tags so communicator contexts cannot collide.
+const maxUserTag = 1 << 20
+
+// tagSpace offsets MPI traffic away from the runtime's reserved ranges.
+const tagSpace = 1 << 24
+
+// Comm is a communicator: an ordered group of global ranks with an
+// isolated tag context.
+type Comm struct {
+	env   *par.Env
+	group []int // global ranks in communicator rank order
+	rank  int   // this process's rank within the communicator
+	ctx   int   // context id, unique per communicator chain
+	world *collective.Comm
+
+	nextCtx *int // shared counter for deterministic context allocation
+}
+
+// World returns the initial communicator spanning all processes, with
+// collectives in the given style (Flat reproduces MPICH, Hierarchical
+// MagPIe).
+func World(e *par.Env, style collective.Style) *Comm {
+	group := make([]int, e.Size())
+	for i := range group {
+		group[i] = i
+	}
+	ctr := 1
+	return &Comm{
+		env:     e,
+		group:   group,
+		rank:    e.Rank(),
+		ctx:     0,
+		world:   collective.New(e, style),
+		nextCtx: &ctr,
+	}
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of processes in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Global translates a communicator rank to the global rank.
+func (c *Comm) Global(rank int) int { return c.group[rank] }
+
+// tag maps a user tag into this communicator's context.
+func (c *Comm) tag(userTag int) par.Tag {
+	if userTag < 0 || userTag >= maxUserTag {
+		panic(fmt.Sprintf("mpi: tag %d out of range [0,%d)", userTag, maxUserTag))
+	}
+	return par.Tag(tagSpace + c.ctx*maxUserTag + userTag)
+}
+
+// Send delivers data with the given tag to dest (a communicator rank),
+// charging bytes of simulated wire size. Sends are buffered: they do not
+// block on the receiver.
+func (c *Comm) Send(dest, tag int, data any, bytes int64) {
+	c.env.Send(c.group[dest], c.tag(tag), data, bytes)
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int // communicator rank of the sender
+	Tag    int
+	Bytes  int64
+}
+
+// Recv blocks until a message with the tag arrives from source (or from
+// anyone, with AnySource) and returns its payload and status.
+func (c *Comm) Recv(source, tag int) (any, Status) {
+	var m par.Msg
+	if source == AnySource {
+		m = c.env.Recv(c.tag(tag))
+	} else {
+		m = c.env.RecvFrom(c.group[source], c.tag(tag))
+	}
+	return m.Data, c.status(m, tag)
+}
+
+func (c *Comm) status(m par.Msg, tag int) Status {
+	src := -1
+	for i, g := range c.group {
+		if g == m.From {
+			src = i
+		}
+	}
+	return Status{Source: src, Tag: tag, Bytes: m.Bytes}
+}
+
+// Sendrecv performs the classic exchange: send to dest, receive from
+// source, without deadlock regardless of ordering (sends are buffered).
+func (c *Comm) Sendrecv(dest, sendTag int, data any, bytes int64, source, recvTag int) (any, Status) {
+	c.Send(dest, sendTag, data, bytes)
+	return c.Recv(source, recvTag)
+}
+
+// Request is a handle for a non-blocking operation; complete it with Wait.
+type Request struct {
+	comm *Comm
+	recv bool
+	src  int
+	tag  int
+	done bool
+	data any
+	st   Status
+}
+
+// Isend starts a buffered send. In this model sends complete immediately;
+// the request exists for source compatibility with MPI-shaped code.
+func (c *Comm) Isend(dest, tag int, data any, bytes int64) *Request {
+	c.Send(dest, tag, data, bytes)
+	return &Request{comm: c, done: true}
+}
+
+// Irecv posts a receive to be completed by Wait. The match is performed at
+// Wait time; posting order between distinct (source, tag) patterns does
+// not constrain delivery, mirroring MPI's non-overtaking rule per pattern.
+func (c *Comm) Irecv(source, tag int) *Request {
+	return &Request{comm: c, recv: true, src: source, tag: tag}
+}
+
+// Wait blocks until the request completes and returns the received payload
+// and status (zero values for sends).
+func (r *Request) Wait() (any, Status) {
+	if r.done {
+		return r.data, r.st
+	}
+	r.data, r.st = r.comm.Recv(r.src, r.tag)
+	r.done = true
+	return r.data, r.st
+}
+
+// Waitall completes all requests, in order.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}

@@ -1,0 +1,305 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"twolayer/internal/collective"
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+// runMPI executes job on the DAS topology with a World communicator of the
+// given style.
+func runMPI(t *testing.T, topo *topology.Topology, style collective.Style, job func(c *Comm)) par.Result {
+	t.Helper()
+	res, err := par.Run(topo, network.DefaultParams(), 23, func(e *par.Env) {
+		job(World(e, style))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWorldIdentity(t *testing.T) {
+	res, err := par.Run(topology.DAS(), network.DefaultParams(), 23, func(e *par.Env) {
+		c := World(e, collective.Hierarchical)
+		if c.Size() != 32 {
+			panic("size")
+		}
+		if c.Global(c.Rank()) != e.Rank() {
+			panic("rank mapping")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Error("no events")
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	runMPI(t, topology.MustUniform(2, 2), collective.Flat, func(c *Comm) {
+		r := c.Rank()
+		next := (r + 1) % c.Size()
+		prev := (r + c.Size() - 1) % c.Size()
+		c.Send(next, 7, fmt.Sprintf("from-%d", r), 64)
+		data, st := c.Recv(prev, 7)
+		if data.(string) != fmt.Sprintf("from-%d", prev) {
+			panic("wrong payload")
+		}
+		if st.Source != prev || st.Tag != 7 || st.Bytes != 64 {
+			panic(fmt.Sprintf("status %+v", st))
+		}
+	})
+}
+
+func TestSendrecvAndAnySource(t *testing.T) {
+	runMPI(t, topology.MustUniform(2, 2), collective.Flat, func(c *Comm) {
+		r := c.Rank()
+		partner := r ^ 1
+		data, _ := c.Sendrecv(partner, 3, r*10, 8, partner, 3)
+		if data.(int) != partner*10 {
+			panic("sendrecv payload")
+		}
+		// AnySource receive.
+		if r == 0 {
+			c.Send(1, 9, "hello", 8)
+		}
+		if r == 1 {
+			got, st := c.Recv(AnySource, 9)
+			if got.(string) != "hello" || st.Source != 0 {
+				panic("anysource")
+			}
+		}
+	})
+}
+
+func TestNonBlocking(t *testing.T) {
+	runMPI(t, topology.MustUniform(2, 3), collective.Flat, func(c *Comm) {
+		r := c.Rank()
+		n := c.Size()
+		var reqs []*Request
+		for i := 0; i < n; i++ {
+			if i == r {
+				continue
+			}
+			reqs = append(reqs, c.Isend(i, 5, r, 16))
+			reqs = append(reqs, c.Irecv(i, 5))
+		}
+		Waitall(reqs)
+		for _, rq := range reqs {
+			if !rq.recv {
+				continue
+			}
+			data, st := rq.Wait() // idempotent after Waitall
+			if data.(int) != st.Source {
+				panic("irecv payload mismatch")
+			}
+		}
+	})
+}
+
+func TestTagContextIsolation(t *testing.T) {
+	// The recover must run inside the simulated process, where the panic
+	// fires.
+	runMPI(t, topology.MustUniform(1, 2), collective.Flat, func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range tag should panic")
+			}
+		}()
+		c.Send(0, maxUserTag+5, nil, 8)
+	})
+}
+
+func TestSplitByCluster(t *testing.T) {
+	topo := topology.DAS()
+	runMPI(t, topo, collective.Hierarchical, func(c *Comm) {
+		sub := c.ClusterComm()
+		if sub.Size() != 8 {
+			panic(fmt.Sprintf("cluster comm size %d", sub.Size()))
+		}
+		g := c.Global(c.Rank())
+		if sub.Global(sub.Rank()) != g {
+			panic("identity lost in split")
+		}
+		// Ranks within the subcommunicator follow global order.
+		if sub.Rank() != topo.RankInCluster(g) {
+			panic("cluster rank mismatch")
+		}
+		// Collectives on the subgroup.
+		sum := sub.Allreduce([]float64{float64(g)}, collective.Sum)
+		want := 0.0
+		for _, rr := range topo.RanksIn(topo.ClusterOf(g)) {
+			want += float64(rr)
+		}
+		if math.Abs(sum[0]-want) > 1e-9 {
+			panic(fmt.Sprintf("cluster allreduce %v != %v", sum[0], want))
+		}
+		// Sibling communicators must not cross-talk: exchange within the
+		// subgroup using the same tags everywhere.
+		next := (sub.Rank() + 1) % sub.Size()
+		prev := (sub.Rank() + sub.Size() - 1) % sub.Size()
+		sub.Send(next, 1, g, 8)
+		got, _ := sub.Recv(prev, 1)
+		if got.(int) != sub.Global(prev) {
+			panic("cross-communicator leak")
+		}
+	})
+}
+
+func TestSplitByParity(t *testing.T) {
+	runMPI(t, topology.MustUniform(2, 4), collective.Flat, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, -c.Rank()) // reverse key order
+		if sub.Size() != 4 {
+			panic("split size")
+		}
+		// Keys reverse the order: communicator rank 0 is the largest global.
+		if sub.Rank() == 0 && c.Rank() < 6 {
+			panic(fmt.Sprintf("key ordering wrong: global %d is sub-rank 0", c.Rank()))
+		}
+		v := sub.Bcast(0, []float64{float64(c.Rank())})
+		_ = v
+	})
+}
+
+func TestWorldCollectivesMatchStyles(t *testing.T) {
+	for _, style := range []collective.Style{collective.Flat, collective.Hierarchical} {
+		style := style
+		var out []float64
+		runMPI(t, topology.DAS(), style, func(c *Comm) {
+			in := []float64{float64(c.Rank() + 1)}
+			res := c.Allreduce(in, collective.Sum)
+			if c.Rank() == 0 {
+				out = res
+			}
+			c.Barrier()
+			blocks := c.Gather(0, in)
+			if c.Rank() == 0 && len(blocks) != 32 {
+				panic("gather size")
+			}
+			segs := make([][]float64, c.Size())
+			for i := range segs {
+				segs[i] = []float64{float64(c.Rank()*100 + i)}
+			}
+			all := c.Alltoall(segs)
+			if all[5][0] != float64(5*100+c.Rank()) {
+				panic("alltoall content")
+			}
+		})
+		if out[0] != float64(32*33/2) {
+			t.Errorf("style %v: allreduce = %v", style, out)
+		}
+	}
+}
+
+func TestHierarchicalWorldFasterOnWAN(t *testing.T) {
+	slow := network.DefaultParams().WithWAN(10*sim.Millisecond, 1e6)
+	elapsed := func(style collective.Style) sim.Time {
+		res, err := par.Run(topology.DAS(), slow, 23, func(e *par.Env) {
+			c := World(e, style)
+			for i := 0; i < 3; i++ {
+				c.Allreduce([]float64{1}, collective.Sum)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	if h, f := elapsed(collective.Hierarchical), elapsed(collective.Flat); h >= f {
+		t.Errorf("hierarchical (%v) should beat flat (%v)", h, f)
+	}
+}
+
+func TestSubgroupReduceAllRoots(t *testing.T) {
+	runMPI(t, topology.MustUniform(3, 2), collective.Flat, func(c *Comm) {
+		sub := c.Split(c.Rank()/3, c.Rank())
+		for root := 0; root < sub.Size(); root++ {
+			op := collective.Sum
+			res := sub.Reduce(root, []float64{1}, &op)
+			if sub.Rank() == root && res[0] != float64(sub.Size()) {
+				panic(fmt.Sprintf("reduce at root %d = %v", root, res))
+			}
+		}
+	})
+}
+
+func TestBcastSubgroupEqualsInput(t *testing.T) {
+	runMPI(t, topology.MustUniform(2, 3), collective.Flat, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		var in []float64
+		if sub.Rank() == 1 {
+			in = []float64{3, 1, 4}
+		}
+		got := sub.Bcast(1, in)
+		if !reflect.DeepEqual(got, []float64{3, 1, 4}) {
+			panic(fmt.Sprintf("bcast got %v", got))
+		}
+	})
+}
+
+func TestSubgroupCollectives(t *testing.T) {
+	// Exercise the binomial subgroup paths of Barrier, Gather and Alltoall
+	// (the world communicator uses the optimized library instead).
+	runMPI(t, topology.MustUniform(2, 4), collective.Flat, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		n := sub.Size()
+
+		// Barrier on the subgroup.
+		sub.Barrier()
+
+		// Gather at every subgroup root.
+		for root := 0; root < n; root++ {
+			blocks := sub.Gather(root, []float64{float64(sub.Rank() * 3)})
+			if sub.Rank() == root {
+				for j := 0; j < n; j++ {
+					if blocks[j][0] != float64(j*3) {
+						panic(fmt.Sprintf("subgroup gather block %d = %v", j, blocks[j]))
+					}
+				}
+			} else if blocks != nil {
+				panic("non-root received gather blocks")
+			}
+		}
+
+		// Alltoall on the subgroup.
+		segs := make([][]float64, n)
+		for d := range segs {
+			segs[d] = []float64{float64(sub.Rank()*100 + d)}
+		}
+		out := sub.Alltoall(segs)
+		for j := 0; j < n; j++ {
+			if out[j][0] != float64(j*100+sub.Rank()) {
+				panic(fmt.Sprintf("subgroup alltoall from %d = %v", j, out[j]))
+			}
+		}
+	})
+}
+
+func TestSubgroupBarrierSynchronizes(t *testing.T) {
+	topo := topology.MustUniform(2, 4)
+	after := make([]sim.Time, topo.Procs())
+	runMPI(t, topo, collective.Flat, func(c *Comm) {
+		sub := c.Split(c.Rank()/4, c.Rank()) // one communicator per cluster
+		c.env.Compute(sim.Time(c.Rank()%4) * sim.Millisecond)
+		sub.Barrier()
+		after[c.Rank()] = c.env.Now()
+	})
+	// Within each group of 4, nobody may leave before the last arrival (3ms).
+	for r, a := range after {
+		if a < 3*sim.Millisecond {
+			t.Errorf("rank %d left subgroup barrier at %v", r, a)
+		}
+	}
+}

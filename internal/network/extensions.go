@@ -1,0 +1,128 @@
+package network
+
+import (
+	"math/rand"
+
+	"twolayer/internal/sim"
+)
+
+// This file extends the base interconnect model with three features the
+// paper points at but could not study on the fixed testbed:
+//
+//   - per-cluster-pair wide-area speeds (the real DAS links differ per
+//     site pair),
+//   - a TCP-like per-message surcharge proportional to the round-trip time
+//     (ack-clocked protocols pay latency per message, not only per byte;
+//     this is the dominant reason flat MPICH collectives lost by up to 10x
+//     rather than the tree-depth ratio),
+//   - deterministic wide-area variability ("Further research should study
+//     the impact of variations in latency and bandwidth, which often occur
+//     on wide area links" — Section 1).
+
+// PairSpeed overrides the wide-area speed of one directed cluster pair.
+type PairSpeed struct {
+	Src, Dst  int
+	Latency   sim.Time
+	Bandwidth float64 // bytes/s
+}
+
+// Variability describes deterministic pseudo-random fluctuation of the
+// wide-area links, reproducing the congestion patterns of shared Internet
+// paths. A zero value means fixed speeds.
+type Variability struct {
+	// LatencyJitter is the maximum extra one-way latency added per
+	// message, uniformly drawn from [0, LatencyJitter].
+	LatencyJitter sim.Time
+	// BandwidthFactor in [0,1) is the maximum fractional bandwidth loss
+	// during a congestion episode; each message sees the current episode's
+	// effective bandwidth.
+	BandwidthFactor float64
+	// Period is the congestion episode length; the effective bandwidth is
+	// redrawn each period per link. Zero with BandwidthFactor>0 redraws
+	// per message.
+	Period sim.Time
+	// Seed drives the fluctuation streams; runs stay deterministic.
+	Seed int64
+}
+
+// enabled reports whether any fluctuation is configured.
+func (v Variability) enabled() bool {
+	return v.LatencyJitter > 0 || v.BandwidthFactor > 0
+}
+
+// wanState is the per-directed-link dynamic state for the extensions.
+type wanState struct {
+	latency   sim.Time
+	bandwidth float64
+
+	rng        *rand.Rand
+	episodeEnd sim.Time
+	factor     float64 // current bandwidth multiplier in (0,1]
+}
+
+// SetPairSpeeds overrides wide-area speeds for specific cluster pairs;
+// unlisted pairs keep the global Params values. Call before any traffic.
+func (n *Network) SetPairSpeeds(pairs []PairSpeed) {
+	n.ensureWANState()
+	for _, p := range pairs {
+		st := n.wanStates[p.Src*n.topo.Clusters()+p.Dst]
+		st.latency = p.Latency
+		st.bandwidth = p.Bandwidth
+	}
+}
+
+// SetVariability enables deterministic wide-area fluctuation. Call before
+// any traffic.
+func (n *Network) SetVariability(v Variability) {
+	n.ensureWANState()
+	n.variability = v
+	for i, st := range n.wanStates {
+		st.rng = rand.New(rand.NewSource(v.Seed + int64(i)*104729))
+		st.factor = 1
+	}
+}
+
+// ensureWANState materializes per-link state lazily so the base model pays
+// nothing for the extensions.
+func (n *Network) ensureWANState() {
+	if n.wanStates != nil {
+		return
+	}
+	c := n.topo.Clusters()
+	n.wanStates = make([]*wanState, c*c)
+	for i := range n.wanStates {
+		n.wanStates[i] = &wanState{
+			latency:   n.params.WANLatency,
+			bandwidth: n.params.WANBandwidth,
+		}
+	}
+}
+
+// wanSpeed returns the effective latency and bandwidth for one message on
+// the directed link src->dst at the current virtual time.
+func (n *Network) wanSpeed(src, dst int) (sim.Time, float64) {
+	if n.wanStates == nil {
+		return n.params.WANLatency, n.params.WANBandwidth
+	}
+	st := n.wanStates[src*n.topo.Clusters()+dst]
+	lat, bw := st.latency, st.bandwidth
+	if !n.variability.enabled() || st.rng == nil {
+		return lat, bw
+	}
+	v := n.variability
+	if v.LatencyJitter > 0 {
+		lat += sim.Time(st.rng.Int63n(int64(v.LatencyJitter) + 1))
+	}
+	if v.BandwidthFactor > 0 {
+		if v.Period <= 0 {
+			bw *= 1 - v.BandwidthFactor*st.rng.Float64()
+		} else {
+			if now := n.k.Now(); now >= st.episodeEnd {
+				st.factor = 1 - v.BandwidthFactor*st.rng.Float64()
+				st.episodeEnd = now + v.Period
+			}
+			bw *= st.factor
+		}
+	}
+	return lat, bw
+}

@@ -1,0 +1,133 @@
+package network
+
+import (
+	"testing"
+
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+func TestPairSpeedOverride(t *testing.T) {
+	arrive := func(configure func(*Network)) sim.Time {
+		k := sim.NewKernel()
+		n := New(k, topology.DAS(), flatParams().WithWAN(10*sim.Millisecond, 1e6))
+		if configure != nil {
+			configure(n)
+		}
+		var at sim.Time
+		n.Send(0, 8, 1000, func() { at = k.Now() })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	base := arrive(nil)
+	fast := arrive(func(n *Network) {
+		n.SetPairSpeeds([]PairSpeed{{Src: 0, Dst: 1, Latency: sim.Millisecond, Bandwidth: 10e6}})
+	})
+	if fast >= base {
+		t.Errorf("override should be faster: %v vs %v", fast, base)
+	}
+	// The reverse direction and other pairs keep the slow defaults.
+	other := arrive(func(n *Network) {
+		n.SetPairSpeeds([]PairSpeed{{Src: 1, Dst: 0, Latency: sim.Millisecond, Bandwidth: 10e6}})
+	})
+	if other != base {
+		t.Errorf("unrelated override changed timing: %v vs %v", other, base)
+	}
+}
+
+func TestRTTFactorSurcharge(t *testing.T) {
+	run := func(factor float64) sim.Time {
+		k := sim.NewKernel()
+		p := flatParams().WithWAN(10*sim.Millisecond, 1e6)
+		p.WANMessageRTTFactor = factor
+		n := New(k, topology.DAS(), p)
+		var at sim.Time
+		n.Send(0, 8, 100, func() { at = k.Now() })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	plain := run(0)
+	tcp := run(0.5)
+	// 0.5 * RTT = 10 ms extra per message.
+	if got := tcp - plain; got != 10*sim.Millisecond {
+		t.Errorf("surcharge = %v, want 10ms", got)
+	}
+}
+
+func TestVariabilityDeterministicAndBounded(t *testing.T) {
+	run := func(seed int64) []sim.Time {
+		k := sim.NewKernel()
+		n := New(k, topology.DAS(), flatParams().WithWAN(10*sim.Millisecond, 1e6))
+		n.SetVariability(Variability{
+			LatencyJitter:   5 * sim.Millisecond,
+			BandwidthFactor: 0.5,
+			Period:          20 * sim.Millisecond,
+			Seed:            seed,
+		})
+		var times []sim.Time
+		for i := 0; i < 10; i++ {
+			n.Send(0, 8, 10_000, func() { times = append(times, k.Now()) })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a := run(1)
+	b := run(1)
+	c := run(2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	different := false
+	for i := range a {
+		if a[i] != c[i] {
+			different = true
+		}
+	}
+	if !different {
+		t.Error("different seeds should fluctuate differently")
+	}
+	// Bounds: every delivery at least as late as the un-jittered ideal and
+	// no later than worst case (half bandwidth, +5ms latency each, serialized).
+	k := sim.NewKernel()
+	n := New(k, topology.DAS(), flatParams().WithWAN(10*sim.Millisecond, 1e6))
+	var ideal sim.Time
+	n.Send(0, 8, 10_000, func() { ideal = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] < ideal {
+		t.Errorf("jittered delivery %v earlier than ideal %v", a[0], ideal)
+	}
+}
+
+func TestObserverSeesAllMessages(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, topology.DAS(), DefaultParams())
+	var events []MessageEvent
+	n.SetObserver(func(ev MessageEvent) { events = append(events, ev) })
+	n.Send(0, 0, 10, func() {}) // loopback
+	n.Send(0, 1, 20, func() {}) // intra
+	n.Send(0, 8, 30, func() {}) // WAN
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0].WAN || events[1].WAN || !events[2].WAN {
+		t.Errorf("WAN flags wrong: %+v", events)
+	}
+	for _, ev := range events {
+		if ev.Delivered <= ev.Sent {
+			t.Errorf("non-positive transit: %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package network models the two-layer interconnect of the paper's testbed:
+// Myrinet-class links inside each cluster and configurable ATM-class
+// wide-area links between clusters, connected through per-cluster gateways.
+//
+// The model charges three kinds of cost to a message:
+//
+//   - per-message software overhead on the sending host (the Panda/FM layer),
+//   - serialization on shared resources: the sender's NIC for the fast
+//     network, and the dedicated cluster-pair wide-area link for slow
+//     traffic (store-and-forward through the gateway),
+//   - wire latency per hop.
+//
+// The wide-area links are the paper's experimental knob: latency 0.4-300 ms
+// one way, bandwidth 6.3-0.03 MByte/s. Every link keeps traffic statistics
+// so the harness can regenerate Figure 1 and Figure 4.
+package network
+
+import (
+	"fmt"
+
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+// Params are the tunable speeds of the interconnect. The defaults mirror
+// the paper's testbed numbers.
+type Params struct {
+	// IntraLatency is the one-way application-level latency of the fast
+	// (Myrinet) network. The paper reports 20 us.
+	IntraLatency sim.Time
+	// IntraBandwidth is the application-level bandwidth of the fast network
+	// in bytes/second. The paper reports 50 MByte/s.
+	IntraBandwidth float64
+	// WANLatency is the one-way latency of a wide-area link. Swept over
+	// 0.5-300 ms in the paper's experiments.
+	WANLatency sim.Time
+	// WANBandwidth is the bandwidth of each wide-area link in bytes/second.
+	// Swept over 0.03-6.3 MByte/s.
+	WANBandwidth float64
+	// SendOverhead is per-message software overhead charged on the sender
+	// before the message enters the NIC.
+	SendOverhead sim.Time
+	// RecvOverhead is per-message software overhead charged before delivery.
+	RecvOverhead sim.Time
+	// WANPerMessage is extra per-message overhead on the gateway/TCP path
+	// (protocol stack traversal); charged once per wide-area message.
+	WANPerMessage sim.Time
+	// WANMessageRTTFactor adds a TCP-like surcharge per wide-area message
+	// proportional to the link round-trip time (ack-clocked protocols pay
+	// latency per message). Zero, the default, models the clean link the
+	// delay loops emulate; ~0.5-1.0 approximates the paper-era TCP stacks.
+	WANMessageRTTFactor float64
+}
+
+// Testbed speed constants from Section 3.2 and 4 of the paper.
+const (
+	MyrinetLatency    = 20 * sim.Microsecond
+	MyrinetBandwidth  = 50e6 // bytes/s
+	DefaultATMLatency = 500 * sim.Microsecond
+	DefaultATMBW      = 6.0e6
+)
+
+// DefaultParams returns the paper's base configuration: Myrinet inside
+// clusters, 6 MByte/s / 0.5 ms ATM between clusters.
+func DefaultParams() Params {
+	return Params{
+		IntraLatency:   MyrinetLatency,
+		IntraBandwidth: MyrinetBandwidth,
+		WANLatency:     DefaultATMLatency,
+		WANBandwidth:   DefaultATMBW,
+		SendOverhead:   5 * sim.Microsecond,
+		RecvOverhead:   5 * sim.Microsecond,
+		WANPerMessage:  60 * sim.Microsecond,
+	}
+}
+
+// WithWAN returns a copy of p with the wide-area knobs replaced; bandwidth
+// in bytes/second.
+func (p Params) WithWAN(latency sim.Time, bandwidth float64) Params {
+	p.WANLatency = latency
+	p.WANBandwidth = bandwidth
+	return p
+}
+
+// Gap returns the NUMA gap of the configuration: the ratio between slow and
+// fast link speed, for latency and bandwidth respectively.
+func (p Params) Gap() (latencyGap, bandwidthGap float64) {
+	latencyGap = float64(p.WANLatency) / float64(p.IntraLatency)
+	bandwidthGap = p.IntraBandwidth / p.WANBandwidth
+	return
+}
+
+// link is a serializing resource: transmissions queue FIFO and each
+// occupies the link for size/bandwidth.
+type link struct {
+	freeAt sim.Time
+	stats  LinkStats
+}
+
+// reserve books size bytes onto the link starting no earlier than ready,
+// returning the time the last byte leaves the link.
+func (l *link) reserve(ready sim.Time, size int64, bandwidth float64) sim.Time {
+	return l.reserveWith(ready, size, bandwidth, 0)
+}
+
+// reserveWith additionally occupies the link for extra per-message time —
+// the model of ack-clocked protocols that hold the pipe beyond the pure
+// transmission (TCP slow start, per-message handshakes).
+func (l *link) reserveWith(ready sim.Time, size int64, bandwidth float64, extra sim.Time) sim.Time {
+	start := ready
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	end := start + sim.TransmissionTime(size, bandwidth) + extra
+	l.freeAt = end
+	l.stats.Messages++
+	l.stats.Bytes += size
+	l.stats.BusyTime += end - start
+	return end
+}
+
+// LinkStats is the traffic recorded on one link.
+type LinkStats struct {
+	Messages int64
+	Bytes    int64
+	BusyTime sim.Time
+}
+
+// Network routes messages over a topology with the given parameters.
+// It must be used only from within a single simulation kernel.
+type Network struct {
+	k      *sim.Kernel
+	topo   *topology.Topology
+	params Params
+
+	nics     []link // per-rank outgoing fast-network interface
+	gateways []link // per-cluster gateway fast-network interface (incoming WAN traffic redistribution)
+	wan      []link // directed cluster-pair links, index srcCluster*C+dstCluster
+
+	intra IntraStats
+
+	// Extensions (see extensions.go); nil/zero when unused.
+	wanStates   []*wanState
+	variability Variability
+	observer    func(MessageEvent)
+}
+
+// MessageEvent is reported to the observer installed with SetObserver for
+// every delivered message: the raw material of the trace subsystem.
+type MessageEvent struct {
+	Src, Dst  int
+	Bytes     int64
+	Sent      sim.Time
+	Delivered sim.Time
+	WAN       bool
+}
+
+// SetObserver installs a callback invoked at every message delivery. Passing
+// nil disables observation.
+func (n *Network) SetObserver(fn func(MessageEvent)) { n.observer = fn }
+
+// IntraStats aggregates fast-network traffic (for Table 1's total traffic
+// column).
+type IntraStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// New creates a network for the given topology and parameters on kernel k.
+func New(k *sim.Kernel, topo *topology.Topology, params Params) *Network {
+	c := topo.Clusters()
+	return &Network{
+		k:        k,
+		topo:     topo,
+		params:   params,
+		nics:     make([]link, topo.Procs()),
+		gateways: make([]link, c),
+		wan:      make([]link, c*c),
+	}
+}
+
+// Topology returns the network's topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Params returns the configured speeds.
+func (n *Network) Params() Params { return n.params }
+
+// Send models the transfer of size simulated bytes from rank src to rank
+// dst, invoking deliver in kernel context at the arrival time. It must be
+// called from kernel or process context within the simulation. The deliver
+// callback receives the arrival time (equal to the kernel's current time
+// when it fires).
+func (n *Network) Send(src, dst int, size int64, deliver func()) {
+	if size < 0 {
+		panic(fmt.Sprintf("network: negative message size %d", size))
+	}
+	now := n.k.Now()
+	ready := now + n.params.SendOverhead
+
+	if src == dst {
+		// Loopback: software overhead only, no NIC transit.
+		deliverAt := ready + n.params.RecvOverhead
+		n.k.Schedule(deliverAt, deliver)
+		if n.observer != nil {
+			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt})
+		}
+		return
+	}
+
+	// First leg: the sender's fast-network interface serializes the message.
+	nicDone := n.nics[src].reserve(ready, size, n.params.IntraBandwidth)
+	localArrive := nicDone + n.params.IntraLatency
+	n.intra.Messages++
+	n.intra.Bytes += size
+
+	if n.topo.SameCluster(src, dst) {
+		deliverAt := localArrive + n.params.RecvOverhead
+		n.k.Schedule(deliverAt, deliver)
+		if n.observer != nil {
+			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt})
+		}
+		return
+	}
+
+	// Second leg: gateway store-and-forward over the dedicated wide-area
+	// link for this cluster pair.
+	sc, dc := n.topo.ClusterOf(src), n.topo.ClusterOf(dst)
+	wanLat, wanBW := n.wanSpeed(sc, dc)
+	wl := &n.wan[sc*n.topo.Clusters()+dc]
+	wanDone := wl.reserveWith(localArrive+n.params.WANPerMessage, size, wanBW,
+		sim.Time(float64(2*wanLat)*n.params.WANMessageRTTFactor))
+	remoteGateway := wanDone + wanLat
+
+	// Third leg: the remote gateway redistributes onto the fast network.
+	gwDone := n.gateways[dc].reserve(remoteGateway, size, n.params.IntraBandwidth)
+	arrive := gwDone + n.params.IntraLatency
+	deliverAt := arrive + n.params.RecvOverhead
+	n.k.Schedule(deliverAt, deliver)
+	if n.observer != nil {
+		n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt, WAN: true})
+	}
+}
+
+// WANStats returns the accumulated statistics of the directed wide-area
+// link from cluster src to cluster dst.
+func (n *Network) WANStats(src, dst int) LinkStats {
+	return n.wan[src*n.topo.Clusters()+dst].stats
+}
+
+// TotalWAN sums traffic over all wide-area links.
+func (n *Network) TotalWAN() LinkStats {
+	var t LinkStats
+	for i := range n.wan {
+		t.Messages += n.wan[i].stats.Messages
+		t.Bytes += n.wan[i].stats.Bytes
+		t.BusyTime += n.wan[i].stats.BusyTime
+	}
+	return t
+}
+
+// ClusterWANOut sums traffic leaving cluster c over wide-area links; Figure
+// 1 reports per-cluster values of this.
+func (n *Network) ClusterWANOut(c int) LinkStats {
+	var t LinkStats
+	for d := 0; d < n.topo.Clusters(); d++ {
+		if d == c {
+			continue
+		}
+		s := n.WANStats(c, d)
+		t.Messages += s.Messages
+		t.Bytes += s.Bytes
+		t.BusyTime += s.BusyTime
+	}
+	return t
+}
+
+// Intra returns aggregate fast-network traffic (messages that used a NIC,
+// including the first leg of wide-area messages).
+func (n *Network) Intra() IntraStats { return n.intra }

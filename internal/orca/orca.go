@@ -1,0 +1,447 @@
+// Package orca provides a shared-object programming layer over the
+// simulated machine, modelled on the Orca language runtime the paper's
+// applications were written in (five of the six programs are Orca
+// programs; Table 1 cites the Orca system of Bal et al.).
+//
+// Orca programs share state through objects with named operations. The
+// runtime chooses a representation per object:
+//
+//   - Replicated: every processor holds a copy; write operations go
+//     through a sequencer processor that assigns global sequence numbers
+//     and broadcasts them, so all replicas apply all writes in the same
+//     total order (the mechanism whose wide-area cost ASP's sequencer
+//     optimization attacks). Reads are local and free of communication.
+//   - Owned: a single processor holds the object; every operation is an
+//     RPC to the owner (the representation behind TSP's centralized job
+//     queue).
+//
+// Operations are registered functions of (state, argument); they must be
+// deterministic and identical on every processor, which keeps replicas
+// consistent. While a processor waits for one of its own operations to
+// complete, it serves incoming runtime traffic, so processors cannot
+// deadlock on each other's objects.
+package orca
+
+import (
+	"fmt"
+
+	"twolayer/internal/par"
+)
+
+// State is an object's state; operations receive and may mutate it.
+type State any
+
+// Op is a registered operation: it may mutate state and returns a result.
+// Ops must be pure functions of (state, arg) — no rank-local capture — so
+// replicas stay identical.
+type Op func(state State, arg any) any
+
+// Mode selects an object's representation.
+type Mode int
+
+const (
+	// Replicated keeps a copy on every processor; writes are totally
+	// ordered through the sequencer.
+	Replicated Mode = iota
+	// Owned keeps the object on one processor; all operations are RPCs.
+	Owned
+)
+
+// The single runtime tag: all Orca traffic to a rank flows through it so a
+// blocked processor can serve whatever arrives.
+const tagOrca par.Tag = 900000
+
+// sequencerRank hosts the global write sequencer (Orca used a designated
+// node; rank 0 here).
+const sequencerRank = 0
+
+// message kinds multiplexed on tagOrca.
+type kind uint8
+
+const (
+	kSeqWrite   kind = iota // writer -> sequencer: please order this write
+	kOrderedOp              // sequencer -> everyone (tree): apply write #seq
+	kOwnedCall              // caller -> owner: run op, reply
+	kOwnedReply             // owner -> caller
+	kDone                   // rank -> sequencer: I have issued my last operation
+	kMigrate                // old owner -> new owner: object state transfer
+	kFence                  // rank -> sequencer: fence request
+)
+
+// fenceObj is the sentinel object id of ordered fence markers (see Fence).
+const fenceObj = -2
+
+// shutdownObj is the sentinel object id of the ordered shutdown broadcast;
+// sequencing it through the same stream as writes guarantees every write
+// is applied everywhere before any rank stops serving.
+const shutdownObj = -1
+
+// wire is the runtime envelope.
+type wire struct {
+	kind     kind
+	obj      int
+	op       string
+	arg      any
+	seq      int
+	from     int
+	replyTo  int
+	callID   int
+	result   any
+	newOwner int // owner piggybacked on replies and carried by migrations
+	state    State
+}
+
+// object is the per-rank view of one declared object.
+type object struct {
+	name    string
+	mode    Mode
+	owner   int // believed owner; updated lazily from replies
+	isOwner bool
+	state   State
+	ops     map[string]Op
+}
+
+// Runtime is one processor's handle to the shared-object space. Every
+// processor must create it with New and then declare the same objects in
+// the same order.
+type Runtime struct {
+	e       *par.Env
+	objects []*object
+
+	// Sequencer state (rank sequencerRank only).
+	nextSeq int
+
+	// Applier state: writes must apply in sequence order.
+	applied  int
+	holdback map[int]wire
+
+	// Pending replies to owned calls made by this rank.
+	results  map[int]wire
+	nextCall int
+
+	// Shutdown protocol state.
+	doneCount int
+	stopped   bool
+
+	// Fence protocol state.
+	fenceCount int // sequencer: requests collected for the current fence
+	fencesSeen int // applier: ordered fence markers applied
+
+	// opBytes estimates the wire size of an operation message.
+	opBytes func(op string, arg any) int64
+}
+
+// New creates the runtime for this processor. opBytes, if non-nil,
+// customizes the simulated wire size per operation (default 128 bytes).
+func New(e *par.Env, opBytes func(op string, arg any) int64) *Runtime {
+	if opBytes == nil {
+		opBytes = func(string, any) int64 { return 128 }
+	}
+	return &Runtime{
+		e:        e,
+		holdback: make(map[int]wire),
+		results:  make(map[int]wire),
+		opBytes:  opBytes,
+	}
+}
+
+// Handle names a declared object.
+type Handle struct {
+	rt *Runtime
+	id int
+}
+
+// Declare registers an object collectively: every processor must call
+// Declare with the same name, mode, owner, initial-state constructor and
+// operation table, in the same order. The constructor runs locally on
+// every replica (or only meaningfully on the owner for Owned objects), so
+// initial states are identical without communication.
+func (rt *Runtime) Declare(name string, mode Mode, owner int, initial func() State, ops map[string]Op) Handle {
+	rt.objects = append(rt.objects, &object{
+		name:    name,
+		mode:    mode,
+		owner:   owner,
+		isOwner: rt.e.Rank() == owner || mode == Replicated,
+		state:   initial(),
+		ops:     ops,
+	})
+	return Handle{rt: rt, id: len(rt.objects) - 1}
+}
+
+// Read runs a read-only operation. On replicated objects it executes
+// locally against the replica (after applying any ordered writes that have
+// already arrived); on owned objects it is an RPC like any other.
+func (h Handle) Read(op string, arg any) any {
+	rt := h.rt
+	obj := rt.objects[h.id]
+	rt.drain()
+	if obj.mode == Replicated || obj.isOwner {
+		return rt.apply(obj, op, arg)
+	}
+	return rt.ownedCall(h.id, op, arg)
+}
+
+// Write runs a mutating operation. On replicated objects the write is
+// globally ordered by the sequencer and applied everywhere; the caller
+// blocks until its own write has been applied locally (Orca's semantics:
+// the invoking process continues only after the operation took effect).
+// On owned objects it is an RPC to the owner.
+func (h Handle) Write(op string, arg any) any {
+	rt := h.rt
+	obj := rt.objects[h.id]
+	if obj.mode == Owned {
+		rt.drain()
+		if obj.isOwner {
+			return rt.apply(obj, op, arg)
+		}
+		return rt.ownedCall(h.id, op, arg)
+	}
+	// Replicated write: request ordering from the sequencer, then serve
+	// until our write comes back in order.
+	bytes := rt.opBytes(op, arg)
+	rt.e.Send(sequencerRank, tagOrca, wire{
+		kind: kSeqWrite, obj: h.id, op: op, arg: arg, from: rt.e.Rank(),
+	}, 32+bytes)
+	for {
+		w, applied, result := rt.serveOne()
+		if applied && w.kind == kOrderedOp && w.from == rt.e.Rank() && w.obj == h.id {
+			return result
+		}
+	}
+}
+
+// MigrateTo moves an owned object's state to a new owner; only the current
+// owner may call it. The old owner keeps a forwarding pointer, so callers
+// with a stale owner still reach the object (and learn the new owner from
+// the reply) — the general mechanism behind ASP's migrating sequencer.
+func (h Handle) MigrateTo(newOwner int) {
+	rt := h.rt
+	obj := rt.objects[h.id]
+	if obj.mode != Owned {
+		panic(fmt.Sprintf("orca: object %q is replicated; migration applies to owned objects", obj.name))
+	}
+	if !obj.isOwner {
+		panic(fmt.Sprintf("orca: rank %d is not the owner of %q", rt.e.Rank(), obj.name))
+	}
+	if newOwner == rt.e.Rank() {
+		return
+	}
+	rt.drain() // serve calls that already arrived before handing off
+	rt.e.Send(newOwner, tagOrca, wire{kind: kMigrate, obj: h.id, state: obj.state},
+		64+rt.opBytes("__migrate", nil))
+	obj.isOwner = false
+	obj.owner = newOwner
+	obj.state = nil
+}
+
+// Poll serves any pending runtime traffic without blocking; processors
+// that compute for long stretches should call it periodically, as Orca's
+// communication thread would preempt them.
+func (rt *Runtime) Poll() { rt.drain() }
+
+// Fence is an ordered global synchronization: it returns only after every
+// processor has reached the same fence and every replicated write issued
+// before it, anywhere, has been applied locally. (The fence marker is
+// sequenced through the same total order as the writes.)
+func (rt *Runtime) Fence() {
+	rt.e.Send(sequencerRank, tagOrca, wire{kind: kFence, from: rt.e.Rank()}, 16)
+	target := rt.fencesSeen + 1
+	for rt.fencesSeen < target {
+		rt.serveOne()
+	}
+}
+
+// Shutdown ends the shared-object epoch collectively: every processor must
+// call it after its last operation. Each keeps serving runtime traffic
+// (forwarding broadcasts, answering owned-object calls, sequencing) until
+// the sequencer has heard from everyone and an ordered shutdown marker —
+// sequenced after every write in the system — has been applied locally.
+// After Shutdown returns, all replicas are identical and quiescent.
+func (rt *Runtime) Shutdown() {
+	rt.e.Send(sequencerRank, tagOrca, wire{kind: kDone, from: rt.e.Rank()}, 16)
+	for !rt.stopped {
+		rt.serveOne()
+	}
+}
+
+// ---- internals ----
+
+// apply runs an operation against the local state.
+func (rt *Runtime) apply(obj *object, op string, arg any) any {
+	f, ok := obj.ops[op]
+	if !ok {
+		panic(fmt.Sprintf("orca: object %q has no operation %q", obj.name, op))
+	}
+	return f(obj.state, arg)
+}
+
+// ownedCall RPCs an operation to the object's owner, serving incoming
+// traffic while waiting.
+func (rt *Runtime) ownedCall(objID int, op string, arg any) any {
+	obj := rt.objects[objID]
+	rt.nextCall++
+	id := rt.nextCall
+	rt.e.Send(obj.owner, tagOrca, wire{
+		kind: kOwnedCall, obj: objID, op: op, arg: arg,
+		replyTo: rt.e.Rank(), callID: id,
+	}, 32+rt.opBytes(op, arg))
+	for {
+		if w, ok := rt.results[id]; ok {
+			delete(rt.results, id)
+			return w.result
+		}
+		rt.serveOne()
+	}
+}
+
+// drain serves queued runtime messages without blocking.
+func (rt *Runtime) drain() {
+	for {
+		m, ok := rt.e.TryRecv(par.AnySender, tagOrca)
+		if !ok {
+			return
+		}
+		rt.handle(m.Data.(wire))
+	}
+}
+
+// serveOne blocks for one runtime message and handles it; it reports the
+// message and, for ordered writes applied locally, the operation result.
+func (rt *Runtime) serveOne() (wire, bool, any) {
+	m := rt.e.Recv(tagOrca)
+	return rt.handle(m.Data.(wire))
+}
+
+// handle dispatches one runtime message. For ordered writes it applies all
+// in-order writes and returns the result of the LAST one applied (which is
+// the message's own write when it was next in sequence).
+func (rt *Runtime) handle(w wire) (wire, bool, any) {
+	e := rt.e
+	switch w.kind {
+	case kSeqWrite:
+		// Sequencer duty: assign the next number and broadcast.
+		seq := rt.nextSeq
+		rt.nextSeq++
+		out := w
+		out.kind = kOrderedOp
+		out.seq = seq
+		rt.broadcast(out)
+		// The sequencer applies it through its own ordered stream (it just
+		// sent it to itself via broadcast delivery below).
+		return w, false, nil
+	case kDone:
+		// Sequencer duty: when every rank has announced completion, order
+		// the shutdown marker after all writes.
+		rt.doneCount++
+		if rt.doneCount == rt.e.Size() {
+			seq := rt.nextSeq
+			rt.nextSeq++
+			rt.broadcast(wire{kind: kOrderedOp, obj: shutdownObj, seq: seq})
+		}
+		return w, false, nil
+	case kFence:
+		// Sequencer duty: order a fence marker once every rank has asked.
+		rt.fenceCount++
+		if rt.fenceCount == rt.e.Size() {
+			rt.fenceCount = 0
+			seq := rt.nextSeq
+			rt.nextSeq++
+			rt.broadcast(wire{kind: kOrderedOp, obj: fenceObj, seq: seq})
+		}
+		return w, false, nil
+	case kOrderedOp:
+		rt.forward(w)
+		rt.holdback[w.seq] = w
+		// Apply every write that is now in order; if one of them is this
+		// rank's own outstanding write, report it so Write can return its
+		// result (a rank has at most one outstanding replicated write).
+		var mine wire
+		var mineResult any
+		found := false
+		for {
+			next, ok := rt.holdback[rt.applied]
+			if !ok {
+				break
+			}
+			delete(rt.holdback, rt.applied)
+			rt.applied++
+			if next.obj == shutdownObj {
+				rt.stopped = true
+				continue
+			}
+			if next.obj == fenceObj {
+				rt.fencesSeen++
+				continue
+			}
+			res := rt.apply(rt.objects[next.obj], next.op, next.arg)
+			if next.from == e.Rank() {
+				mine, mineResult, found = next, res, true
+			}
+		}
+		if found {
+			return mine, true, mineResult
+		}
+		return w, false, nil
+	case kOwnedCall:
+		obj := rt.objects[w.obj]
+		if !obj.isOwner {
+			// Stale caller: chase the forwarding pointer (the classic
+			// forwarding chain behind transparent object migration).
+			e.Send(obj.owner, tagOrca, w, 32+rt.opBytes(w.op, w.arg))
+			return w, false, nil
+		}
+		res := rt.apply(obj, w.op, w.arg)
+		reply := wire{kind: kOwnedReply, callID: w.callID, result: res, newOwner: e.Rank(), obj: w.obj}
+		e.Send(w.replyTo, tagOrca, reply, 32+rt.opBytes(w.op, res))
+		return w, false, nil
+	case kOwnedReply:
+		// Learn the current owner so future calls go direct.
+		rt.objects[w.obj].owner = w.newOwner
+		rt.results[w.callID] = w
+		return w, false, nil
+	case kMigrate:
+		obj := rt.objects[w.obj]
+		obj.state = w.state
+		obj.isOwner = true
+		obj.owner = e.Rank()
+		return w, false, nil
+	}
+	panic("orca: unknown message kind")
+}
+
+// broadcast sends an ordered write to every rank (including the sequencer
+// itself) over a binomial tree rooted at the sequencer.
+func (rt *Runtime) broadcast(w wire) {
+	rt.e.Send(rt.e.Rank(), tagOrca, w, 16) // self-delivery through the loopback
+	rt.treeChildren(w)
+}
+
+// forward relays an ordered write down the broadcast tree. The sequencer
+// already fanned out to its children in broadcast, so it never forwards.
+func (rt *Runtime) forward(w wire) {
+	if rt.e.Rank() == sequencerRank {
+		return
+	}
+	rt.treeChildren(w)
+}
+
+// treeChildren sends w to this rank's children in the binomial tree rooted
+// at the sequencer.
+func (rt *Runtime) treeChildren(w wire) {
+	e := rt.e
+	n := e.Size()
+	vr := (e.Rank() - sequencerRank + n) % n
+	lowbit := vr & -vr
+	if vr == 0 {
+		lowbit = 1
+		for lowbit < n {
+			lowbit <<= 1
+		}
+	}
+	bytes := 32 + rt.opBytes(w.op, w.arg)
+	for mask := lowbit >> 1; mask >= 1; mask >>= 1 {
+		if vr+mask < n {
+			e.Send((vr+mask+sequencerRank)%n, tagOrca, w, bytes)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package orca
+
+import (
+	"testing"
+
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+// counter is a shared integer with increment and get operations.
+type counter struct{ v int }
+
+func counterOps() map[string]Op {
+	return map[string]Op{
+		"inc": func(s State, arg any) any {
+			c := s.(*counter)
+			c.v += arg.(int)
+			return c.v
+		},
+		"get": func(s State, _ any) any { return s.(*counter).v },
+	}
+}
+
+func runOrca(t *testing.T, topo *topology.Topology, job func(rt *Runtime, e *par.Env)) par.Result {
+	t.Helper()
+	res, err := par.Run(topo, network.DefaultParams(), 29, func(e *par.Env) {
+		job(New(e, nil), e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestReplicatedCounterTotalOrder(t *testing.T) {
+	topo := topology.DAS()
+	finals := make([]int, topo.Procs())
+	runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+		h := rt.Declare("counter", Replicated, 0, func() State { return &counter{} }, counterOps())
+		for i := 0; i < 3; i++ {
+			h.Write("inc", 1)
+		}
+		// Shutdown is ordered after every write in the system, so the final
+		// read sees all 3*32 increments on every replica.
+		rt.Shutdown()
+		finals[e.Rank()] = h.Read("get", nil).(int)
+	})
+	for r, v := range finals {
+		if v != 3*topo.Procs() {
+			t.Errorf("rank %d final counter %d, want %d", r, v, 3*topo.Procs())
+		}
+	}
+}
+
+func TestWriteReturnsResultInOrder(t *testing.T) {
+	// Each writer observes the counter value at its own write's position in
+	// the total order; the multiset of returned values must be exactly
+	// 1..N with no duplicates (a sequential-consistency witness).
+	topo := topology.MustUniform(2, 4)
+	returned := make([]int, topo.Procs())
+	runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+		h := rt.Declare("counter", Replicated, 0, func() State { return &counter{} }, counterOps())
+		returned[e.Rank()] = h.Write("inc", 1).(int)
+		rt.Shutdown()
+	})
+	seen := map[int]bool{}
+	for r, v := range returned {
+		if v < 1 || v > topo.Procs() {
+			t.Errorf("rank %d saw out-of-range value %d", r, v)
+		}
+		if seen[v] {
+			t.Errorf("value %d returned twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestOwnedObjectRPC(t *testing.T) {
+	topo := topology.DAS()
+	got := make([]int, topo.Procs())
+	runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+		const owner = 5
+		h := rt.Declare("tickets", Owned, owner, func() State {
+			s := &counter{}
+			if e.Rank() == owner {
+				s.v = 100
+			}
+			return s
+		}, counterOps())
+		got[e.Rank()] = h.Write("inc", 1).(int)
+		rt.Shutdown()
+	})
+	seen := map[int]bool{}
+	for r, v := range got {
+		if v <= 100 || v > 100+topo.Procs() {
+			t.Errorf("rank %d got ticket %d", r, v)
+		}
+		if seen[v] {
+			t.Errorf("ticket %d issued twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestJobQueueObject models TSP's centralized work queue as an Orca object:
+// workers pull jobs until empty; each job is taken exactly once.
+func TestJobQueueObject(t *testing.T) {
+	type queue struct{ jobs []int }
+	const jobCount = 100
+	topo := topology.DAS()
+	taken := make(map[int]int)
+	ops := map[string]Op{
+		"pop": func(s State, _ any) any {
+			q := s.(*queue)
+			if len(q.jobs) == 0 {
+				return -1
+			}
+			j := q.jobs[0]
+			q.jobs = q.jobs[1:]
+			return j
+		},
+	}
+	runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+		h := rt.Declare("jobs", Owned, 0, func() State {
+			q := &queue{}
+			if e.Rank() == 0 {
+				for i := 0; i < jobCount; i++ {
+					q.jobs = append(q.jobs, i)
+				}
+			}
+			return q
+		}, ops)
+		if e.Rank() != 0 {
+			for {
+				j := h.Write("pop", nil).(int)
+				if j < 0 {
+					break
+				}
+				taken[j]++
+				e.Compute(100 * sim.Microsecond)
+			}
+		}
+		// The owner (rank 0) serves pops from inside Shutdown until every
+		// worker has drained the queue and announced completion.
+		rt.Shutdown()
+	})
+	if len(taken) != jobCount {
+		t.Fatalf("%d jobs taken, want %d", len(taken), jobCount)
+	}
+	for j, n := range taken {
+		if n != 1 {
+			t.Errorf("job %d taken %d times", j, n)
+		}
+	}
+}
+
+func TestReplicatedReadIsLocal(t *testing.T) {
+	// Reads on replicated objects generate no traffic: a run with 100 reads
+	// produces exactly the same wide-area message count as a run with none
+	// (only the shutdown protocol communicates).
+	wan := func(reads int) int64 {
+		topo := topology.DAS()
+		res := runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+			h := rt.Declare("c", Replicated, 0, func() State { return &counter{v: 7} }, counterOps())
+			for i := 0; i < reads; i++ {
+				if h.Read("get", nil).(int) != 7 {
+					panic("wrong value")
+				}
+			}
+			rt.Shutdown()
+		})
+		return res.WAN.Messages
+	}
+	if a, b := wan(0), wan(100); a != b {
+		t.Errorf("reads generated wide-area traffic: %d vs %d messages", a, b)
+	}
+}
+
+func TestUnknownOpPanics(t *testing.T) {
+	runOrca(t, topology.SingleCluster(2), func(rt *Runtime, e *par.Env) {
+		h := rt.Declare("c", Replicated, 0, func() State { return &counter{} }, counterOps())
+		if e.Rank() == 0 {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("expected panic for unknown op")
+					}
+				}()
+				h.Read("nope", nil)
+			}()
+		}
+		rt.Shutdown()
+	})
+}
+
+func TestSequencerCostVisible(t *testing.T) {
+	// Replicated writes from a remote cluster pay the wide area twice
+	// (request to the sequencer, broadcast back out) — the cost structure
+	// ASP's migration optimization attacks.
+	topo := topology.MustUniform(2, 2)
+	slow := network.DefaultParams().WithWAN(10*sim.Millisecond, 1e6)
+	var remoteWrite, localWrite sim.Time
+	_, err := par.Run(topo, slow, 29, func(e *par.Env) {
+		rt := New(e, nil)
+		h := rt.Declare("c", Replicated, 0, func() State { return &counter{} }, counterOps())
+		if e.Rank() == 0 {
+			start := e.Now()
+			h.Write("inc", 1)
+			localWrite = e.Now() - start
+		}
+		if e.Rank() == 2 { // remote cluster
+			e.Compute(5 * sim.Millisecond) // let rank 0 finish first
+			start := e.Now()
+			h.Write("inc", 1)
+			remoteWrite = e.Now() - start
+		}
+		rt.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteWrite < 20*sim.Millisecond {
+		t.Errorf("remote write should pay >= 2 WAN latencies, took %v", remoteWrite)
+	}
+	if localWrite >= remoteWrite {
+		t.Errorf("local write (%v) should be cheaper than remote (%v)", localWrite, remoteWrite)
+	}
+}
+
+func TestMultipleObjects(t *testing.T) {
+	// Two replicated objects and one owned object coexist; writes interleave
+	// through the same sequencer without cross-talk.
+	topo := topology.MustUniform(2, 3)
+	runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+		a := rt.Declare("a", Replicated, 0, func() State { return &counter{} }, counterOps())
+		b := rt.Declare("b", Replicated, 0, func() State { return &counter{} }, counterOps())
+		c := rt.Declare("c", Owned, 1, func() State { return &counter{} }, counterOps())
+		a.Write("inc", 1)
+		b.Write("inc", 10)
+		c.Write("inc", 100)
+		rt.Shutdown()
+		if got := a.Read("get", nil).(int); got != topo.Procs() {
+			panic("object a mixed up")
+		}
+		if got := b.Read("get", nil).(int); got != 10*topo.Procs() {
+			panic("object b mixed up")
+		}
+	})
+}
+
+func TestOrcaDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		topo := topology.DAS()
+		res := runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+			h := rt.Declare("c", Replicated, 0, func() State { return &counter{} }, counterOps())
+			h.Write("inc", e.Rank())
+			rt.Shutdown()
+		})
+		return res.Elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestMigration: the owned object moves mid-run; stale callers are chased
+// through the forwarding pointer and learn the new owner, and the state
+// survives the move intact.
+func TestMigration(t *testing.T) {
+	topo := topology.MustUniform(2, 4)
+	got := make([]int, topo.Procs())
+	runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+		h := rt.Declare("tickets", Owned, 0, func() State { return &counter{} }, counterOps())
+		if e.Rank() == 0 {
+			// Take a few tickets, then migrate the object to the other
+			// cluster's first rank.
+			h.Write("inc", 1)
+			h.Write("inc", 1)
+			h.MigrateTo(4)
+		} else if e.Rank() != 4 {
+			// Stale believers: everyone still thinks rank 0 owns it. Give
+			// the migration a moment, then call; the forwarding chain must
+			// still deliver.
+			e.Compute(sim.Time(e.Rank()) * sim.Millisecond)
+			got[e.Rank()] = h.Write("inc", 1).(int)
+			// A second call goes straight to the learned owner.
+			got2 := h.Write("inc", 1).(int)
+			if got2 <= got[e.Rank()] {
+				t.Errorf("rank %d: second ticket %d not after first %d", e.Rank(), got2, got[e.Rank()])
+			}
+		}
+		rt.Shutdown()
+		if e.Rank() == 4 {
+			// 2 (owner) + 2 per other non-owner rank (6 ranks).
+			if final := h.Read("get", nil).(int); final != 2+2*6 {
+				t.Errorf("final counter %d, want 14", final)
+			}
+		}
+	})
+	seen := map[int]bool{}
+	for r, v := range got {
+		if r == 0 || r == 4 {
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("rank %d got no ticket", r)
+		}
+		if seen[v] {
+			t.Errorf("ticket %d issued twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestMigrationGuards: migrating a replicated object or migrating from a
+// non-owner panics.
+func TestMigrationGuards(t *testing.T) {
+	runOrca(t, topology.SingleCluster(2), func(rt *Runtime, e *par.Env) {
+		rep := rt.Declare("r", Replicated, 0, func() State { return &counter{} }, counterOps())
+		own := rt.Declare("o", Owned, 0, func() State { return &counter{} }, counterOps())
+		if e.Rank() == 1 {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("non-owner migration should panic")
+					}
+				}()
+				own.MigrateTo(1)
+			}()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("replicated migration should panic")
+					}
+				}()
+				rep.MigrateTo(1)
+			}()
+		}
+		rt.Shutdown()
+	})
+}
+
+// TestMigrationSelfIsNoop: migrating to the current owner does nothing.
+func TestMigrationSelfIsNoop(t *testing.T) {
+	runOrca(t, topology.SingleCluster(2), func(rt *Runtime, e *par.Env) {
+		h := rt.Declare("o", Owned, 0, func() State { return &counter{v: 5} }, counterOps())
+		if e.Rank() == 0 {
+			h.MigrateTo(0)
+			if h.Read("get", nil).(int) != 5 {
+				t.Error("self-migration lost state")
+			}
+		}
+		rt.Shutdown()
+	})
+}
+
+// TestFence: after a fence, every replica has applied every write issued
+// before any rank's fence call.
+func TestFence(t *testing.T) {
+	topo := topology.DAS()
+	seen := make([]int, topo.Procs())
+	runOrca(t, topo, func(rt *Runtime, e *par.Env) {
+		h := rt.Declare("c", Replicated, 0, func() State { return &counter{} }, counterOps())
+		for round := 1; round <= 3; round++ {
+			h.Write("inc", 1)
+			rt.Fence()
+			if got := h.Read("get", nil).(int); got != round*e.Size() {
+				t.Errorf("rank %d after fence %d: counter %d, want %d",
+					e.Rank(), round, got, round*e.Size())
+			}
+		}
+		rt.Shutdown()
+		seen[e.Rank()] = h.Read("get", nil).(int)
+	})
+	for r, v := range seen {
+		if v != 3*topo.Procs() {
+			t.Errorf("rank %d final %d", r, v)
+		}
+	}
+}

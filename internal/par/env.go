@@ -1,0 +1,150 @@
+// Package par is a message-passing SPMD runtime on top of the simulated
+// two-layer interconnect — the analogue of the paper's Panda/Orca layer.
+//
+// A parallel program is a Job function executed once per processor. Each
+// instance gets an Env with its global rank, cluster information, and
+// blocking communication primitives (asynchronous sends, selective
+// receives, RPC, barrier). All communication costs virtual time according
+// to the network model; computation is charged explicitly with
+// Env.Compute.
+package par
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+	"twolayer/internal/trace"
+)
+
+// Job is the body of an SPMD program, run once per processor.
+type Job func(e *Env)
+
+// Env is one processor's view of the runtime.
+type Env struct {
+	rt   *runtime
+	p    *sim.Proc
+	rank int
+	mb   mailbox
+	rng  *rand.Rand
+
+	nextReplyTag Tag
+	sends        int64 // messages sent by this rank
+}
+
+// Rank returns the processor's global rank in [0, Size).
+func (e *Env) Rank() int { return e.rank }
+
+// Size returns the total number of processors.
+func (e *Env) Size() int { return e.rt.topo.Procs() }
+
+// Topology returns the machine shape.
+func (e *Env) Topology() *topology.Topology { return e.rt.topo }
+
+// Cluster returns the index of the processor's cluster.
+func (e *Env) Cluster() int { return e.rt.topo.ClusterOf(e.rank) }
+
+// Clusters returns the number of clusters.
+func (e *Env) Clusters() int { return e.rt.topo.Clusters() }
+
+// ClusterRank returns the processor's index within its cluster.
+func (e *Env) ClusterRank() int { return e.rt.topo.RankInCluster(e.rank) }
+
+// ClusterPeers returns the global ranks in the processor's own cluster.
+func (e *Env) ClusterPeers() []int { return e.rt.topo.RanksIn(e.Cluster()) }
+
+// Coordinator returns the designated coordinator rank of cluster c (its
+// first rank), used by the cluster-aware optimizations.
+func (e *Env) Coordinator(c int) int { return e.rt.topo.FirstRank(c) }
+
+// SameCluster reports whether the given rank is in this processor's cluster.
+func (e *Env) SameCluster(other int) bool { return e.rt.topo.SameCluster(e.rank, other) }
+
+// Now returns the current virtual time.
+func (e *Env) Now() sim.Time { return e.p.Now() }
+
+// Compute charges d of virtual computation time.
+func (e *Env) Compute(d sim.Time) {
+	if tr := e.rt.tracer; tr != nil && d > 0 {
+		start := e.p.Now()
+		e.p.Compute(d)
+		tr.RecordSpan(trace.Span{Rank: e.rank, Start: start, End: e.p.Now()})
+		return
+	}
+	e.p.Compute(d)
+}
+
+// ComputeUnits charges units*costPerUnit of virtual computation, a
+// convenience for the applications' cost models.
+func (e *Env) ComputeUnits(units int64, costPerUnit sim.Time) {
+	e.Compute(sim.Time(units) * costPerUnit)
+}
+
+// Rand returns this rank's deterministic random stream.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Send asynchronously sends data to rank dst; the message occupies bytes of
+// simulated wire size. Send never blocks the caller beyond the modelled
+// per-message software overhead.
+func (e *Env) Send(dst int, tag Tag, data any, bytes int64) {
+	if dst < 0 || dst >= e.Size() {
+		panic(fmt.Sprintf("par: send to invalid rank %d", dst))
+	}
+	e.sends++
+	m := Msg{From: e.rank, Tag: tag, Data: data, Bytes: bytes}
+	dmb := &e.rt.envs[dst].mb
+	e.rt.net.Send(e.rank, dst, bytes, func() { dmb.deliver(m) })
+	// The sender itself is occupied for the software send overhead.
+	e.p.Compute(e.rt.net.Params().SendOverhead)
+}
+
+// Recv blocks until a message with the given tag arrives (from anyone) and
+// returns it.
+func (e *Env) Recv(tag Tag) Msg {
+	return e.mb.recv(e.p, AnySender, tag, fmt.Sprintf("recv tag %d", tag))
+}
+
+// RecvFrom blocks until a message with the given tag arrives from rank from.
+func (e *Env) RecvFrom(from int, tag Tag) Msg {
+	return e.mb.recv(e.p, from, tag, fmt.Sprintf("recv tag %d from %d", tag, from))
+}
+
+// TryRecv returns a queued matching message without blocking.
+func (e *Env) TryRecv(from int, tag Tag) (Msg, bool) { return e.mb.take(from, tag) }
+
+// Pending reports the number of undelivered messages in this rank's mailbox.
+func (e *Env) Pending() int { return e.mb.pending() }
+
+// MessagesSent returns how many messages this rank has sent.
+func (e *Env) MessagesSent() int64 { return e.sends }
+
+// replyTag allocates a unique tag for an RPC reply. Reply tags are negative
+// and even, so they can never collide with application tags (small
+// non-negative ints) or AnyTag.
+func (e *Env) replyTag() Tag {
+	e.nextReplyTag -= 2
+	return e.nextReplyTag
+}
+
+// Call performs a blocking RPC: it sends data to dst with the given tag and
+// waits for the reply. The server must answer with Reply. reqBytes and the
+// reply's bytes are charged to the network separately.
+func (e *Env) Call(dst int, tag Tag, data any, reqBytes int64) Msg {
+	rt := e.replyTag()
+	e.Send(dst, tag, Request{ReplyTo: e.rank, ReplyTag: rt, Data: data}, reqBytes)
+	return e.RecvFrom(dst, rt)
+}
+
+// Request is the envelope Call sends; servers receive it as the message's
+// Data and answer with Reply.
+type Request struct {
+	ReplyTo  int
+	ReplyTag Tag
+	Data     any
+}
+
+// Reply answers an RPC request previously received by this rank.
+func (e *Env) Reply(req Request, data any, bytes int64) {
+	e.Send(req.ReplyTo, req.ReplyTag, data, bytes)
+}

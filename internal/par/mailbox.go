@@ -1,0 +1,77 @@
+package par
+
+import (
+	"twolayer/internal/sim"
+)
+
+// Msg is a delivered message. Data carries the real payload (used for the
+// applications' verified computations); Bytes is the simulated wire size
+// charged to the interconnect, which may be paper-scale even when Data is
+// small.
+type Msg struct {
+	From  int
+	Tag   Tag
+	Data  any
+	Bytes int64
+}
+
+// Tag distinguishes message streams; receives match on it. AnyTag and
+// AnySender match everything.
+type Tag int
+
+// AnyTag matches any message tag in a receive.
+const AnyTag Tag = -1
+
+// AnySender matches any source rank in a receive.
+const AnySender = -1
+
+// mailbox is a per-process queue of undelivered messages with selective
+// receive: the owning process may block waiting for a (sender, tag) pattern.
+type mailbox struct {
+	queue []Msg
+
+	cond     sim.Cond
+	wantFrom int
+	wantTag  Tag
+}
+
+// match reports whether m satisfies the (from, tag) pattern.
+func match(m *Msg, from int, tag Tag) bool {
+	return (from == AnySender || m.From == from) && (tag == AnyTag || m.Tag == tag)
+}
+
+// take removes and returns the first queued message matching the pattern.
+func (mb *mailbox) take(from int, tag Tag) (Msg, bool) {
+	for i := range mb.queue {
+		if match(&mb.queue[i], from, tag) {
+			m := mb.queue[i]
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return Msg{}, false
+}
+
+// deliver appends a message and wakes the owner if it is waiting for a
+// matching pattern. Must be called from kernel context.
+func (mb *mailbox) deliver(m Msg) {
+	mb.queue = append(mb.queue, m)
+	if mb.cond.Waiting() && match(&m, mb.wantFrom, mb.wantTag) {
+		mb.cond.Signal()
+	}
+}
+
+// recv blocks p until a message matching the pattern is available, then
+// removes and returns it.
+func (mb *mailbox) recv(p *sim.Proc, from int, tag Tag, reason string) Msg {
+	for {
+		if m, ok := mb.take(from, tag); ok {
+			return m
+		}
+		mb.wantFrom, mb.wantTag = from, tag
+		mb.cond.Wait(p, reason)
+	}
+}
+
+// pending reports how many undelivered messages are queued.
+func (mb *mailbox) pending() int { return len(mb.queue) }

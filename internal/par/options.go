@@ -1,0 +1,31 @@
+package par
+
+import (
+	"twolayer/internal/network"
+	"twolayer/internal/topology"
+	"twolayer/internal/trace"
+)
+
+// Options configures a run beyond the basic Run arguments: network
+// extensions (per-pair speeds, variability, TCP-like surcharges are set
+// through Configure) and event tracing.
+type Options struct {
+	// Params sets the interconnect speeds; the zero value means
+	// network.DefaultParams().
+	Params network.Params
+	// Seed drives the per-rank random streams.
+	Seed int64
+	// Configure, if non-nil, runs against the freshly built network before
+	// any process starts — the hook for SetPairSpeeds / SetVariability.
+	Configure func(*network.Network)
+	// Trace, if non-nil, collects every message and compute span.
+	Trace *trace.Collector
+}
+
+// RunWith executes job like Run, with extended options.
+func RunWith(topo *topology.Topology, opts Options, job Job) (Result, error) {
+	if opts.Params == (network.Params{}) {
+		opts.Params = network.DefaultParams()
+	}
+	return runSim(topo, opts, job)
+}

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"testing"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+	"twolayer/internal/trace"
+)
+
+func TestRunWithDefaults(t *testing.T) {
+	res, err := RunWith(topology.MustUniform(2, 2), Options{Seed: 1}, func(e *Env) {
+		e.Compute(sim.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != sim.Millisecond {
+		t.Errorf("elapsed %v", res.Elapsed)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	topo := topology.DAS()
+	tr := trace.NewCollector(topo.Procs())
+	_, err := RunWith(topo, Options{Params: network.DefaultParams(), Seed: 1, Trace: tr},
+		func(e *Env) {
+			e.Compute(sim.Time(e.Rank()+1) * 100 * sim.Microsecond)
+			next := (e.Rank() + 1) % e.Size()
+			e.Send(next, 1, nil, 1000)
+			e.Recv(1)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Messages) != 32 {
+		t.Errorf("%d messages traced, want 32", len(tr.Messages))
+	}
+	if len(tr.Spans) != 32 {
+		t.Errorf("%d spans traced, want 32", len(tr.Spans))
+	}
+	s := tr.Summarize()
+	// Ranks 7->8, 15->16, 23->24, 31->0 cross clusters.
+	if s.WANMessages != 4 {
+		t.Errorf("WAN messages = %d, want 4", s.WANMessages)
+	}
+	m := tr.CommMatrix()
+	if m[0][1] != 1000 {
+		t.Errorf("matrix[0][1] = %d", m[0][1])
+	}
+}
+
+func TestRunWithConfigure(t *testing.T) {
+	topo := topology.MustUniform(2, 2)
+	var fast, slow sim.Time
+	base := network.DefaultParams().WithWAN(10*sim.Millisecond, 1e6)
+	job := func(out *sim.Time) Job {
+		return func(e *Env) {
+			if e.Rank() == 0 {
+				e.Send(2, 1, nil, 100)
+			}
+			if e.Rank() == 2 {
+				e.Recv(1)
+				*out = e.Now()
+			}
+		}
+	}
+	if _, err := RunWith(topo, Options{Params: base, Seed: 1}, job(&slow)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunWith(topo, Options{
+		Params: base, Seed: 1,
+		Configure: func(n *network.Network) {
+			n.SetPairSpeeds([]network.PairSpeed{{Src: 0, Dst: 1, Latency: sim.Millisecond, Bandwidth: 10e6}})
+		},
+	}, job(&fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast >= slow {
+		t.Errorf("configured pair should be faster: %v vs %v", fast, slow)
+	}
+}

@@ -1,0 +1,158 @@
+package par
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+	"twolayer/internal/trace"
+)
+
+// runtime ties a kernel, a network and the per-rank environments together.
+type runtime struct {
+	k      *sim.Kernel
+	topo   *topology.Topology
+	net    *network.Network
+	envs   []*Env
+	tracer *trace.Collector
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Elapsed is the virtual time at which the last processor finished.
+	Elapsed sim.Time
+	// PerProcFinish holds each rank's finish time.
+	PerProcFinish []sim.Time
+	// PerProcCompute holds each rank's accumulated compute time, for
+	// utilization and load-balance analysis.
+	PerProcCompute []sim.Time
+	// WAN is the total wide-area traffic.
+	WAN network.LinkStats
+	// ClusterWANOut is per-cluster outgoing wide-area traffic (Figure 1).
+	ClusterWANOut []network.LinkStats
+	// Intra is total fast-network traffic.
+	Intra network.IntraStats
+	// Events is the number of simulator events fired, a measure of
+	// simulation effort.
+	Events uint64
+}
+
+// Speedup returns sequentialTime / Elapsed.
+func (r Result) Speedup(sequential sim.Time) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(sequential) / float64(r.Elapsed)
+}
+
+// Run executes job on every processor of topo over a network with the given
+// parameters and seed for the per-rank random streams. It returns when all
+// processors have finished. A deadlock in the simulated program is returned
+// as an error. For traced or network-extended runs, see RunWith.
+func Run(topo *topology.Topology, params network.Params, seed int64, job Job) (Result, error) {
+	return runSim(topo, Options{Params: params, Seed: seed}, job)
+}
+
+func runSim(topo *topology.Topology, opts Options, job Job) (Result, error) {
+	k := sim.NewKernel()
+	net := network.New(k, topo, opts.Params)
+	if opts.Configure != nil {
+		opts.Configure(net)
+	}
+	if opts.Trace != nil {
+		tr := opts.Trace
+		net.SetObserver(func(ev network.MessageEvent) {
+			tr.RecordMessage(trace.Message{
+				Src: ev.Src, Dst: ev.Dst, Bytes: ev.Bytes,
+				Sent: ev.Sent, Delivered: ev.Delivered, WAN: ev.WAN,
+			})
+		})
+	}
+	seed := opts.Seed
+	rt := &runtime{k: k, topo: topo, net: net, tracer: opts.Trace}
+	rt.envs = make([]*Env, topo.Procs())
+	procs := make([]*sim.Proc, topo.Procs())
+	for r := 0; r < topo.Procs(); r++ {
+		e := &Env{rt: rt, rank: r, rng: rand.New(rand.NewSource(seed + int64(r)*7919))}
+		rt.envs[r] = e
+		procs[r] = k.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			e.p = p
+			job(e)
+		})
+	}
+	var res Result
+	if err := k.Run(); err != nil {
+		return res, err
+	}
+	res.PerProcFinish = make([]sim.Time, len(procs))
+	res.PerProcCompute = make([]sim.Time, len(procs))
+	for i, p := range procs {
+		res.PerProcFinish[i] = p.FinishedAt()
+		res.PerProcCompute[i] = p.ComputeTime()
+		if p.FinishedAt() > res.Elapsed {
+			res.Elapsed = p.FinishedAt()
+		}
+	}
+	res.WAN = net.TotalWAN()
+	res.ClusterWANOut = make([]network.LinkStats, topo.Clusters())
+	for c := 0; c < topo.Clusters(); c++ {
+		res.ClusterWANOut[c] = net.ClusterWANOut(c)
+	}
+	res.Intra = net.Intra()
+	res.Events = k.EventsFired()
+	return res, nil
+}
+
+// Barrier tags use a reserved negative odd range so they never collide with
+// application tags or RPC reply tags (negative even).
+const (
+	barrierUpTag   Tag = -1001
+	barrierDownTag Tag = -1003
+)
+
+// binomialLowbit returns rank r's lowest set bit, or a value above n for
+// the root, so that the binomial-tree helpers treat rank 0 as the top.
+func binomialLowbit(r, n int) int {
+	if r == 0 {
+		top := 1
+		for top < n {
+			top <<= 1
+		}
+		return top
+	}
+	return r & -r
+}
+
+// Barrier synchronizes all processors with a flat binomial tree rooted at
+// rank 0, ignoring cluster structure — the "uniform network" barrier the
+// original applications were written with. Cluster-aware synchronization
+// lives in package collective.
+//
+// In the binomial tree rooted at 0, parent(r) = r - lowbit(r) and the
+// children of r are r+m for every power of two m below lowbit(r) with
+// r+m < n.
+func (e *Env) Barrier() {
+	n := e.Size()
+	r := e.rank
+	lowbit := binomialLowbit(r, n)
+	// Gather phase: receive from children (smallest subtree first, matching
+	// the order they become ready), then report to the parent.
+	for mask := 1; mask < lowbit && r+mask < n; mask <<= 1 {
+		e.RecvFrom(r+mask, barrierUpTag)
+	}
+	if r != 0 {
+		e.Send(r-lowbit, barrierUpTag, nil, 16)
+	}
+	// Release phase: receive from parent, then fan out to children from the
+	// largest subtree down so deep subtrees start early.
+	if r != 0 {
+		e.RecvFrom(r-lowbit, barrierDownTag)
+	}
+	for mask := lowbit >> 1; mask >= 1; mask >>= 1 {
+		if r+mask < n {
+			e.Send(r+mask, barrierDownTag, nil, 16)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kernel is a discrete-event simulation engine. Create one with NewKernel,
+// add processes with Spawn, then call Run. The zero value is not usable.
+//
+// A Kernel is single-threaded by construction: events fire one at a time,
+// and a woken process runs (on its own goroutine) until it blocks again
+// before the kernel touches the next event. Code executed inside processes
+// may therefore freely share memory with the kernel and with other
+// processes without locking, as long as it only runs within the simulation.
+type Kernel struct {
+	now        Time
+	seq        uint64
+	queue      eventQueue
+	procs      []*Proc
+	yield      chan struct{} // signalled by a process when it blocks or finishes
+	err        error
+	ran        bool
+	events     uint64 // total events fired, for diagnostics
+	eventLimit uint64 // watchdog; 0 = unlimited
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired reports how many events have fired so far; useful for
+// measuring simulation effort in benchmarks.
+func (k *Kernel) EventsFired() uint64 { return k.events }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling in
+// the past panics: it would violate causality and indicates a model bug.
+func (k *Kernel) Schedule(at Time, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	k.seq++
+	k.queue.Push(event{at: at, seq: k.seq, fire: fn})
+}
+
+// After registers fn to run d from now. Negative d is treated as zero.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.Schedule(k.now+d, fn)
+}
+
+// Spawn creates a process that will execute body when Run starts. The name
+// appears in deadlock diagnostics.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  procReady,
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume
+		body(p)
+		p.state = procDone
+		p.finishedAt = k.now
+		k.yield <- struct{}{}
+	}()
+	// The initial wake-up event starts the process at time zero (or at the
+	// current time if spawned mid-run).
+	k.Schedule(k.now, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p until it blocks or finishes. It must only be
+// called from kernel context (inside an event's fire function).
+func (k *Kernel) dispatch(p *Proc) {
+	if p.state == procDone {
+		panic(fmt.Sprintf("sim: dispatch of finished process %q", p.name))
+	}
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// SetEventLimit arms a watchdog: Run aborts with an error after firing
+// more than limit events, guarding sweeps against accidental livelock in a
+// simulated protocol (e.g. a retry loop that makes progress in virtual
+// time but never terminates). Zero, the default, means no limit.
+func (k *Kernel) SetEventLimit(limit uint64) { k.eventLimit = limit }
+
+// Run drives the simulation until the event queue drains. It returns an
+// error if any process is still blocked when no event remains (a deadlock
+// in the simulated system), identifying the stuck processes. Run may only
+// be called once per kernel.
+func (k *Kernel) Run() error {
+	if k.ran {
+		return fmt.Errorf("sim: kernel ran already")
+	}
+	k.ran = true
+	for k.queue.Len() > 0 {
+		ev := k.queue.Pop()
+		if ev.at < k.now {
+			panic("sim: event time went backwards")
+		}
+		k.now = ev.at
+		k.events++
+		if k.eventLimit > 0 && k.events > k.eventLimit {
+			return fmt.Errorf("sim: event limit %d exceeded at %v (livelock?)", k.eventLimit, k.now)
+		}
+		ev.fire()
+	}
+	var stuck []string
+	for _, p := range k.procs {
+		if p.state != procDone {
+			stuck = append(stuck, fmt.Sprintf("%s(%s)", p.name, p.blockReason))
+		}
+	}
+	if len(stuck) > 0 {
+		k.err = fmt.Errorf("sim: deadlock at %v: %d blocked process(es): %s",
+			k.now, len(stuck), strings.Join(stuck, ", "))
+	}
+	return k.err
+}
+
+// Procs returns the processes spawned on this kernel, in spawn order.
+func (k *Kernel) Procs() []*Proc { return k.procs }

@@ -1,0 +1,125 @@
+package sim
+
+import "fmt"
+
+type procState uint8
+
+const (
+	procReady procState = iota
+	procRunning
+	procBlocked
+	procDone
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with the kernel's event loop. All Proc methods must be called from the
+// process's own body function; calling them from outside the simulation is
+// a programming error.
+type Proc struct {
+	k           *Kernel
+	id          int
+	name        string
+	resume      chan struct{}
+	state       procState
+	blockReason string
+	finishedAt  Time
+
+	computeTime Time // accumulated virtual compute time, for utilization stats
+}
+
+// ID returns the process's kernel-assigned index (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// ComputeTime returns the total virtual time this process has spent in
+// Compute calls so far.
+func (p *Proc) ComputeTime() Time { return p.computeTime }
+
+// FinishedAt returns the virtual time at which the process body returned;
+// meaningful only after Kernel.Run completes.
+func (p *Proc) FinishedAt() Time { return p.finishedAt }
+
+// block suspends the process until some event wakes it via wake. The reason
+// string appears in deadlock reports.
+func (p *Proc) block(reason string) {
+	p.state = procBlocked
+	p.blockReason = reason
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+	p.blockReason = ""
+}
+
+// wake schedules the process to resume at the current virtual time. It must
+// be called from kernel context (an event handler), never from another
+// process.
+func (p *Proc) wake() {
+	if p.state != procBlocked {
+		panic(fmt.Sprintf("sim: wake of process %q in state %d", p.name, p.state))
+	}
+	p.state = procReady
+	p.k.dispatch(p)
+}
+
+// Compute advances the process's local virtual time by d, modelling
+// uninterruptible computation. Negative durations are treated as zero.
+func (p *Proc) Compute(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.computeTime += d
+	if d == 0 {
+		return
+	}
+	p.k.Schedule(p.k.Now()+d, func() { p.wake() })
+	p.block("compute")
+}
+
+// Sleep is Compute without counting toward compute-time statistics; use it
+// for modelled idle waiting.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	p.k.Schedule(p.k.Now()+d, func() { p.wake() })
+	p.block("sleep")
+}
+
+// Cond is a single-waiter condition a process can block on and that kernel
+// events can signal. It is the primitive under mailbox receives.
+type Cond struct {
+	waiter *Proc
+}
+
+// Wait blocks p until a Signal. At most one process may wait on a Cond at a
+// time; a second waiter panics, indicating a model bug.
+func (c *Cond) Wait(p *Proc, reason string) {
+	if c.waiter != nil {
+		panic("sim: Cond has a waiter already")
+	}
+	c.waiter = p
+	p.block(reason)
+}
+
+// Signal wakes the waiting process, if any. It must be called from kernel
+// context. It reports whether a process was woken.
+func (c *Cond) Signal() bool {
+	if c.waiter == nil {
+		return false
+	}
+	w := c.waiter
+	c.waiter = nil
+	w.wake()
+	return true
+}
+
+// Waiting reports whether a process is currently blocked on the Cond.
+func (c *Cond) Waiting() bool { return c.waiter != nil }

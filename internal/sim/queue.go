@@ -1,0 +1,81 @@
+package sim
+
+// event is a scheduled callback in virtual time. The seq field breaks ties
+// between events scheduled for the same instant: earlier-scheduled events
+// fire first, which makes the simulation fully deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, seq).
+// It is hand-rolled rather than built on container/heap to avoid the
+// per-operation interface boxing; the kernel pushes and pops millions of
+// events in a large sweep.
+type eventQueue struct {
+	items []event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Push inserts an event into the heap.
+func (q *eventQueue) Push(e event) {
+	q.items = append(q.items, e)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue;
+// the kernel always checks Len first.
+func (q *eventQueue) Pop() event {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = event{} // release the closure for GC
+	q.items = q.items[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}
+
+// Peek returns the earliest event time without removing it.
+func (q *eventQueue) Peek() Time {
+	if len(q.items) == 0 {
+		return MaxTime
+	}
+	return q.items[0].at
+}

@@ -1,0 +1,280 @@
+// Package trace collects and analyzes communication and computation events
+// from a simulated run. The paper closes by arguing that "more effort is
+// needed to assist programmers in identifying performance problems, to
+// help them better to understand the characteristics of interconnect and
+// program" — this package is that tooling for the simulated testbed: it
+// turns a run into a communication matrix, per-processor utilization
+// profile, and message-size/latency distributions.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"twolayer/internal/sim"
+)
+
+// Message is one recorded message.
+type Message struct {
+	Src, Dst  int
+	Tag       int
+	Bytes     int64
+	Sent      sim.Time
+	Delivered sim.Time
+	WAN       bool
+}
+
+// Span is one recorded computation interval on a rank.
+type Span struct {
+	Rank       int
+	Start, End sim.Time
+}
+
+// Collector accumulates events during a run. It is safe to share across
+// the simulated processes (the simulation runs one at a time); it is not
+// safe for use from multiple concurrent simulations.
+type Collector struct {
+	Procs    int
+	Messages []Message
+	Spans    []Span
+}
+
+// NewCollector creates a collector for a machine with procs processors.
+func NewCollector(procs int) *Collector {
+	return &Collector{Procs: procs}
+}
+
+// RecordMessage appends a message event.
+func (c *Collector) RecordMessage(m Message) { c.Messages = append(c.Messages, m) }
+
+// RecordSpan appends a computation span.
+func (c *Collector) RecordSpan(s Span) { c.Spans = append(c.Spans, s) }
+
+// CommMatrix returns bytes sent from each rank to each rank.
+func (c *Collector) CommMatrix() [][]int64 {
+	m := make([][]int64, c.Procs)
+	for i := range m {
+		m[i] = make([]int64, c.Procs)
+	}
+	for _, msg := range c.Messages {
+		m[msg.Src][msg.Dst] += msg.Bytes
+	}
+	return m
+}
+
+// Utilization returns each rank's fraction of the horizon spent computing.
+func (c *Collector) Utilization(horizon sim.Time) []float64 {
+	busy := make([]sim.Time, c.Procs)
+	for _, s := range c.Spans {
+		busy[s.Rank] += s.End - s.Start
+	}
+	out := make([]float64, c.Procs)
+	for i, b := range busy {
+		if horizon > 0 {
+			out[i] = float64(b) / float64(horizon)
+		}
+	}
+	return out
+}
+
+// Summary aggregates the trace.
+type Summary struct {
+	Messages       int
+	WANMessages    int
+	Bytes          int64
+	WANBytes       int64
+	MeanTransit    sim.Time
+	MeanWANTransit sim.Time
+	MaxTransit     sim.Time
+}
+
+// Summarize computes aggregate statistics.
+func (c *Collector) Summarize() Summary {
+	var s Summary
+	var transit, wanTransit sim.Time
+	for _, m := range c.Messages {
+		s.Messages++
+		s.Bytes += m.Bytes
+		d := m.Delivered - m.Sent
+		transit += d
+		if d > s.MaxTransit {
+			s.MaxTransit = d
+		}
+		if m.WAN {
+			s.WANMessages++
+			s.WANBytes += m.Bytes
+			wanTransit += d
+		}
+	}
+	if s.Messages > 0 {
+		s.MeanTransit = transit / sim.Time(s.Messages)
+	}
+	if s.WANMessages > 0 {
+		s.MeanWANTransit = wanTransit / sim.Time(s.WANMessages)
+	}
+	return s
+}
+
+// heat maps a value in [0,1] to a character ramp.
+func heat(frac float64) byte {
+	const ramp = " .:-=+*#%@"
+	idx := int(frac * float64(len(ramp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}
+
+// RenderCommMatrix draws the communication matrix as a text heat map
+// (rows: senders, columns: receivers), normalized to the busiest pair.
+func (c *Collector) RenderCommMatrix() string {
+	m := c.CommMatrix()
+	var max int64 = 1
+	for _, row := range m {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "communication matrix (%d ranks, max pair %d bytes):\n", c.Procs, max)
+	for i, row := range m {
+		fmt.Fprintf(&b, "%3d |", i)
+		for _, v := range row {
+			b.WriteByte(heat(float64(v) / float64(max)))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// RenderUtilization draws per-rank compute utilization bars.
+func (c *Collector) RenderUtilization(horizon sim.Time) string {
+	util := c.Utilization(horizon)
+	var b strings.Builder
+	fmt.Fprintf(&b, "compute utilization over %v:\n", horizon)
+	for r, u := range util {
+		bar := int(u*40 + 0.5)
+		fmt.Fprintf(&b, "%3d |%s%s| %5.1f%%\n", r,
+			strings.Repeat("#", bar), strings.Repeat(" ", 40-bar), 100*u)
+	}
+	return b.String()
+}
+
+// Timeline buckets wide-area traffic over time and renders volume bars, so
+// bursts and phases are visible.
+func (c *Collector) Timeline(horizon sim.Time, buckets int) string {
+	if buckets <= 0 || horizon <= 0 {
+		return ""
+	}
+	vol := make([]int64, buckets)
+	for _, m := range c.Messages {
+		if !m.WAN {
+			continue
+		}
+		idx := int(int64(m.Sent) * int64(buckets) / int64(horizon))
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		vol[idx] += m.Bytes
+	}
+	var max int64 = 1
+	for _, v := range vol {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "wide-area traffic over time (%d buckets of %v):\n", buckets, horizon/sim.Time(buckets))
+	for i, v := range vol {
+		bar := int(float64(v) / float64(max) * 40)
+		fmt.Fprintf(&b, "%3d |%s\n", i, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// TopPairs returns the k busiest sender-receiver pairs by bytes.
+func (c *Collector) TopPairs(k int) []struct {
+	Src, Dst int
+	Bytes    int64
+} {
+	type pair struct {
+		Src, Dst int
+		Bytes    int64
+	}
+	m := c.CommMatrix()
+	var pairs []pair
+	for s, row := range m {
+		for d, v := range row {
+			if v > 0 {
+				pairs = append(pairs, pair{s, d, v})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Bytes != pairs[j].Bytes {
+			return pairs[i].Bytes > pairs[j].Bytes
+		}
+		if pairs[i].Src != pairs[j].Src {
+			return pairs[i].Src < pairs[j].Src
+		}
+		return pairs[i].Dst < pairs[j].Dst
+	})
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	out := make([]struct {
+		Src, Dst int
+		Bytes    int64
+	}, k)
+	for i := 0; i < k; i++ {
+		out[i] = struct {
+			Src, Dst int
+			Bytes    int64
+		}{pairs[i].Src, pairs[i].Dst, pairs[i].Bytes}
+	}
+	return out
+}
+
+// jsonEvent is the export schema: one line per event, with a kind
+// discriminator, suitable for external tools.
+type jsonEvent struct {
+	Kind    string `json:"kind"` // "msg" or "span"
+	Src     int    `json:"src,omitempty"`
+	Dst     int    `json:"dst,omitempty"`
+	Rank    int    `json:"rank,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	WAN     bool   `json:"wan,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// WriteJSON streams the trace as JSON Lines, messages then spans, each in
+// record order — the interchange format for external analysis or plotting.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, m := range c.Messages {
+		if err := enc.Encode(jsonEvent{
+			Kind: "msg", Src: m.Src, Dst: m.Dst, Bytes: m.Bytes, WAN: m.WAN,
+			StartNs: int64(m.Sent), EndNs: int64(m.Delivered),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range c.Spans {
+		if err := enc.Encode(jsonEvent{
+			Kind: "span", Rank: s.Rank,
+			StartNs: int64(s.Start), EndNs: int64(s.End),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

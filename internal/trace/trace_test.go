@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"twolayer/internal/sim"
+)
+
+func sample() *Collector {
+	c := NewCollector(4)
+	c.RecordMessage(Message{Src: 0, Dst: 1, Bytes: 100, Sent: 0, Delivered: sim.Millisecond})
+	c.RecordMessage(Message{Src: 0, Dst: 1, Bytes: 50, Sent: sim.Millisecond, Delivered: 3 * sim.Millisecond})
+	c.RecordMessage(Message{Src: 2, Dst: 3, Bytes: 500, Sent: 0, Delivered: 11 * sim.Millisecond, WAN: true})
+	c.RecordSpan(Span{Rank: 0, Start: 0, End: 5 * sim.Millisecond})
+	c.RecordSpan(Span{Rank: 1, Start: 0, End: 10 * sim.Millisecond})
+	return c
+}
+
+func TestCommMatrix(t *testing.T) {
+	m := sample().CommMatrix()
+	if m[0][1] != 150 || m[2][3] != 500 || m[1][0] != 0 {
+		t.Errorf("matrix %v", m)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sample().Summarize()
+	if s.Messages != 3 || s.WANMessages != 1 {
+		t.Errorf("counts %+v", s)
+	}
+	if s.Bytes != 650 || s.WANBytes != 500 {
+		t.Errorf("bytes %+v", s)
+	}
+	if s.MaxTransit != 11*sim.Millisecond {
+		t.Errorf("max transit %v", s.MaxTransit)
+	}
+	if s.MeanWANTransit != 11*sim.Millisecond {
+		t.Errorf("mean WAN transit %v", s.MeanWANTransit)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u := sample().Utilization(10 * sim.Millisecond)
+	if u[0] != 0.5 || u[1] != 1.0 || u[2] != 0 {
+		t.Errorf("utilization %v", u)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	c := sample()
+	if s := c.RenderCommMatrix(); !strings.Contains(s, "4 ranks") {
+		t.Errorf("matrix render: %q", s)
+	}
+	if s := c.RenderUtilization(10 * sim.Millisecond); !strings.Contains(s, "100.0%") {
+		t.Errorf("utilization render: %q", s)
+	}
+	if s := c.Timeline(20*sim.Millisecond, 4); !strings.Contains(s, "4 buckets") {
+		t.Errorf("timeline render: %q", s)
+	}
+	if c.Timeline(0, 4) != "" || c.Timeline(sim.Second, 0) != "" {
+		t.Error("degenerate timeline should be empty")
+	}
+}
+
+func TestTopPairs(t *testing.T) {
+	top := sample().TopPairs(5)
+	if len(top) != 2 {
+		t.Fatalf("%d pairs", len(top))
+	}
+	if top[0].Src != 2 || top[0].Dst != 3 || top[0].Bytes != 500 {
+		t.Errorf("top pair %+v", top[0])
+	}
+	if one := sample().TopPairs(1); len(one) != 1 {
+		t.Errorf("k bound not respected")
+	}
+}
+
+// Property: the matrix total always equals the summary's byte total.
+func TestMatrixTotalsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := NewCollector(8)
+		for i, v := range raw {
+			c.RecordMessage(Message{
+				Src: i % 8, Dst: (i * 3) % 8, Bytes: int64(v),
+				Sent: sim.Time(i), Delivered: sim.Time(i + 1), WAN: i%2 == 0,
+			})
+		}
+		var total int64
+		for _, row := range c.CommMatrix() {
+			for _, v := range row {
+				total += v
+			}
+		}
+		return total == c.Summarize().Bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeatRamp(t *testing.T) {
+	if heat(0) != ' ' || heat(1) != '@' {
+		t.Errorf("ramp ends: %q %q", heat(0), heat(1))
+	}
+	if heat(-1) != ' ' || heat(2) != '@' {
+		t.Error("out-of-range values should clamp")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 { // 3 messages + 2 spans
+		t.Fatalf("%d lines", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["kind"] != "msg" || ev["wan"] != true {
+		t.Errorf("event %v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[4]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["kind"] != "span" || ev["rank"] != float64(1) {
+		t.Errorf("span %v", ev)
+	}
+}
