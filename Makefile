@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator and the sweep layer are the concurrency-sensitive packages:
+# sweeps run many single-threaded simulations in parallel and share the
+# run cache, so they get a dedicated race-detector pass.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/core/...
+
+check: build vet test race
+
+# bench regenerates results/BENCH_kernel.json (median of 5 runs).
+bench:
+	$(GO) run ./cmd/bench -o results/BENCH_kernel.json -repeat 5

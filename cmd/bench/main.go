@@ -1,0 +1,181 @@
+// Command bench measures the simulator's hot paths — the raw event loop, a
+// blocking process handoff chain, and a full communication-heavy
+// application run — and writes the numbers as JSON for tracking across
+// revisions.
+//
+// Example:
+//
+//	bench -o BENCH_kernel.json -repeat 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/core"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+// Measurement is one benchmark's result. Events is per run; the rates are
+// the median over -repeat runs, so a scheduling hiccup on a shared machine
+// does not pollute the record.
+type Measurement struct {
+	Name         string  `json:"name"`
+	Events       uint64  `json:"events_per_run"`
+	Runs         int     `json:"runs"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// measure runs fn (which must return the number of simulator events it
+// fired) repeat times and keeps the median rate.
+func measure(name string, repeat int, fn func() (uint64, error)) (Measurement, error) {
+	type sample struct {
+		events  uint64
+		elapsed time.Duration
+	}
+	samples := make([]sample, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		events, err := fn()
+		if err != nil {
+			return Measurement{}, fmt.Errorf("%s: %w", name, err)
+		}
+		samples = append(samples, sample{events, time.Since(start)})
+	}
+	sort.Slice(samples, func(i, j int) bool {
+		return float64(samples[i].elapsed)/float64(samples[i].events) <
+			float64(samples[j].elapsed)/float64(samples[j].events)
+	})
+	med := samples[len(samples)/2]
+	ns := float64(med.elapsed.Nanoseconds()) / float64(med.events)
+	return Measurement{
+		Name:         name,
+		Events:       med.events,
+		Runs:         repeat,
+		NsPerEvent:   ns,
+		EventsPerSec: 1e9 / ns,
+	}, nil
+}
+
+// kernelChain exercises the bare event loop: one self-rescheduling event,
+// no processes.
+func kernelChain(n int) (uint64, error) {
+	k := sim.NewKernel()
+	remaining := n
+	var step func()
+	step = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		k.After(sim.Microsecond, step)
+	}
+	k.After(0, step)
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	return k.EventsFired(), nil
+}
+
+// handoffChain bounces a wake between two blocked processes, the pattern
+// underneath every simulated message delivery.
+func handoffChain(n int) (uint64, error) {
+	k := sim.NewKernel()
+	var ping, pong sim.Cond
+	k.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			k.After(0, func() { pong.Signal() })
+			ping.Wait(p, "ping")
+		}
+	})
+	k.Spawn("pong", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			pong.Wait(p, "pong")
+			k.After(0, func() { ping.Signal() })
+		}
+	})
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	return k.EventsFired(), nil
+}
+
+// fftRun is the end-to-end workload: the all-to-all-heavy FFT at Small
+// scale on the DAS shape, the configuration BenchmarkSimulatorThroughput
+// uses as the regression gate.
+func fftRun() (uint64, error) {
+	app, err := core.AppByName("FFT")
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Experiment{
+		App: app, Scale: apps.Small, Optimized: false,
+		Topo: topology.DAS(), Params: network.DefaultParams(),
+	}.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Events, nil
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "BENCH_kernel.json", "output JSON file (\"-\" for stdout)")
+		repeat = flag.Int("repeat", 5, "runs per benchmark; the median is kept")
+		chain  = flag.Int("n", 2_000_000, "chain length for the kernel and handoff microbenchmarks")
+	)
+	flag.Parse()
+	if *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "bench: -repeat must be at least 1")
+		os.Exit(2)
+	}
+	if *chain < 1 {
+		fmt.Fprintln(os.Stderr, "bench: -n must be at least 1")
+		os.Exit(2)
+	}
+
+	benches := []struct {
+		name string
+		fn   func() (uint64, error)
+	}{
+		{"kernel_schedule_fire", func() (uint64, error) { return kernelChain(*chain) }},
+		{"process_handoff", func() (uint64, error) { return handoffChain(*chain / 2) }},
+		{"fft_small_das", fftRun},
+	}
+	report := struct {
+		Unit    string        `json:"unit"`
+		Results []Measurement `json:"results"`
+	}{Unit: "median over runs"}
+	for _, bm := range benches {
+		m, err := measure(bm.name, *repeat, bm.fn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-22s %10d events  %8.2f ns/event  %12.0f events/sec\n",
+			m.Name, m.Events, m.NsPerEvent, m.EventsPerSec)
+		report.Results = append(report.Results, m)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

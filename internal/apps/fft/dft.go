@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 )
 
 // seqFFT computes the DFT of x (length a power of two) with the standard
@@ -87,13 +88,39 @@ func iterFFT(x []complex128) int64 {
 	return ops
 }
 
+// inputCache memoizes generated input vectors: every rank of every run in a
+// sweep regenerates the identical deterministic vector, and drawing 2N
+// variates (plus warming a fresh math/rand source) dominates small-scale
+// run setup. Entries are pristine; callers get a private copy.
+var inputCache struct {
+	sync.Mutex
+	vecs map[[2]int64][]complex128
+}
+
 // randomInput generates a deterministic complex input vector with entries
 // in the unit square.
 func randomInput(n int, seed int64) []complex128 {
-	rng := rand.New(rand.NewSource(seed))
-	x := make([]complex128, n)
-	for i := range x {
-		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	key := [2]int64{int64(n), seed}
+	inputCache.Lock()
+	pristine, ok := inputCache.vecs[key]
+	inputCache.Unlock()
+	if !ok {
+		rng := rand.New(rand.NewSource(seed))
+		pristine = make([]complex128, n)
+		for i := range pristine {
+			pristine[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		inputCache.Lock()
+		if inputCache.vecs == nil {
+			inputCache.vecs = make(map[[2]int64][]complex128)
+		}
+		if len(inputCache.vecs) > 32 { // sweeps touch a handful of configs
+			clear(inputCache.vecs)
+		}
+		inputCache.vecs[key] = pristine
+		inputCache.Unlock()
 	}
+	x := make([]complex128, n)
+	copy(x, pristine)
 	return x
 }

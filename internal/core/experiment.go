@@ -6,8 +6,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"twolayer/internal/apps"
@@ -97,15 +99,25 @@ func (x Experiment) Run() (par.Result, error) {
 
 // Baselines caches single-cluster reference runtimes per application, the
 // TL of the paper's relative-speedup metric. It is safe for concurrent use.
+// The underlying runs go through a RunCache, so baselines are shared across
+// Baselines instances (and with any other sweep using the same cache).
 type Baselines struct {
 	scale apps.Scale
+	runs  *RunCache
 	mu    sync.Mutex
 	cache map[string]sim.Time
 }
 
-// NewBaselines creates an empty cache for the given scale.
+// NewBaselines creates an empty cache for the given scale, backed by the
+// process-wide DefaultCache.
 func NewBaselines(scale apps.Scale) *Baselines {
-	return &Baselines{scale: scale, cache: make(map[string]sim.Time)}
+	return NewBaselinesCached(scale, DefaultCache)
+}
+
+// NewBaselinesCached is NewBaselines with an explicit run cache (nil
+// disables run memoization).
+func NewBaselinesCached(scale apps.Scale, runs *RunCache) *Baselines {
+	return &Baselines{scale: scale, runs: runs, cache: make(map[string]sim.Time)}
 }
 
 // SingleCluster returns the runtime of app on one all-Myrinet cluster of
@@ -122,7 +134,7 @@ func (b *Baselines) SingleCluster(app apps.Info, procs int) (sim.Time, error) {
 	res, err := Experiment{
 		App: app, Scale: b.scale, Optimized: false,
 		Topo: topology.SingleCluster(procs), Params: network.DefaultParams(),
-	}.Run()
+	}.RunCached(b.runs)
 	if err != nil {
 		return 0, err
 	}
@@ -165,28 +177,44 @@ func parallelism() int {
 	return n
 }
 
-// forEach runs fn(i) for i in [0,n) on a bounded worker pool and returns
-// the first error.
+// forEach runs fn(i) for i in [0,n) on a bounded worker pool. Every shard
+// runs to completion even if others fail, and all errors are reported
+// (joined in index order), so one bad cell in a sweep cannot mask another.
 func forEach(n int, fn func(i int) error) error {
+	return forEachWeighted(n, nil, fn)
+}
+
+// forEachWeighted is forEach with longest-job-first scheduling: when
+// weight is non-nil, indices are dispatched in decreasing weight order.
+// Sweep cells differ in cost by orders of magnitude (a 300 ms-latency
+// unoptimized Awari run simulates far more virtual time than a fast-WAN
+// TSP run); starting the heavy cells first keeps the pool's tail short
+// instead of leaving one straggler running alone at the end.
+func forEachWeighted(n int, weight func(i int) float64, fn func(i int) error) error {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if weight != nil {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = weight(i)
+		}
+		sort.SliceStable(order, func(a, b int) bool { return w[order[a]] > w[order[b]] })
+	}
+	errs := make([]error, n)
 	sem := make(chan struct{}, parallelism())
-	errCh := make(chan error, n)
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for _, i := range order {
 		i := i
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errCh <- fn(i)
+			errs[i] = fn(i)
 		}()
 	}
 	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -33,6 +33,10 @@ type Figure3Options struct {
 	Bandwidths []float64
 	// Topo overrides the machine; nil means the 4x8 DAS shape.
 	Topo *topology.Topology
+	// Cache memoizes runs; nil means the process-wide DefaultCache. Cells
+	// shared with other sweeps (Figure 4 points, gap-analysis inputs,
+	// single-cluster baselines) are then simulated only once per process.
+	Cache *RunCache
 }
 
 // Figure3 sweeps the grid and returns one panel per (application, variant)
@@ -52,6 +56,10 @@ func Figure3(scale apps.Scale, opts Figure3Options) ([]Figure3Panel, error) {
 	if topo == nil {
 		topo = topology.DAS()
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = DefaultCache
+	}
 
 	type variant struct {
 		app apps.Info
@@ -68,8 +76,9 @@ func Figure3(scale apps.Scale, opts Figure3Options) ([]Figure3Panel, error) {
 		}
 	}
 
-	base := NewBaselines(scale)
+	base := NewBaselinesCached(scale, cache)
 	panels := make([]Figure3Panel, len(variants))
+	baseElapsed := make([]sim.Time, len(variants))
 	type cell struct{ v, i, j int }
 	var cells []cell
 	for v := range variants {
@@ -87,18 +96,28 @@ func Figure3(scale apps.Scale, opts Figure3Options) ([]Figure3Panel, error) {
 			}
 		}
 		// Warm the baseline cache sequentially to avoid duplicate runs.
-		if _, err := base.SingleCluster(variants[v].app, topo.Procs()); err != nil {
+		tl, err := base.SingleCluster(variants[v].app, topo.Procs())
+		if err != nil {
 			return nil, err
 		}
+		baseElapsed[v] = tl
 	}
 
-	err := forEach(len(cells), func(k int) error {
+	// Longest-job-first: a cell's wall-clock cost grows with the
+	// application's baseline runtime and with the wide-area latency (slow
+	// links stretch the simulated execution, which the simulator must step
+	// through). The product is a crude but monotone proxy.
+	weight := func(k int) float64 {
+		c := cells[k]
+		return float64(baseElapsed[c.v]) * (1 + float64(lats[c.i]))
+	}
+	err := forEachWeighted(len(cells), weight, func(k int) error {
 		c := cells[k]
 		v := variants[c.v]
 		res, err := Experiment{
 			App: v.app, Scale: scale, Optimized: v.opt, Topo: topo,
 			Params: network.DefaultParams().WithWAN(lats[c.i], bws[c.j]),
-		}.Run()
+		}.RunCached(cache)
 		if err != nil {
 			return err
 		}
@@ -196,7 +215,7 @@ func figure4(scale apps.Scale, byBandwidth bool) ([]Figure4Curve, error) {
 			res, err := Experiment{
 				App: app, Scale: scale, Optimized: app.HasOptimized,
 				Topo: topology.DAS(), Params: params,
-			}.Run()
+			}.RunCached(DefaultCache)
 			if err != nil {
 				return err
 			}

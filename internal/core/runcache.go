@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+)
+
+// RunKey identifies a deterministic experiment: everything that influences
+// the result of an untraced, unconfigured run. Two experiments with equal
+// keys produce bit-identical Results, so the sweep layer may share one run
+// between them.
+type RunKey struct {
+	App       string
+	Scale     apps.Scale
+	Optimized bool
+	// Topo is the canonical topology string (e.g. "4x8"); topologies render
+	// identically iff they are the same machine shape.
+	Topo   string
+	Params network.Params
+	Seed   int64
+}
+
+// runEntry is a singleflight slot: the first requester computes, everyone
+// else blocks on done and shares the outcome.
+type runEntry struct {
+	done chan struct{}
+	res  par.Result
+	err  error
+}
+
+// RunCache memoizes experiment results across a sweep. The figures share
+// many cells — every Figure 4 point lies on a Figure 3 row, the gap
+// analysis reuses Figure 3 panels, and all of them re-run the same
+// single-cluster baselines — so a process-wide cache removes whole
+// duplicate simulations rather than shaving per-event costs. It is safe
+// for concurrent use, and concurrent requests for the same key run the
+// simulation only once (the duplicates wait and share).
+type RunCache struct {
+	mu      sync.Mutex
+	entries map[RunKey]*runEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewRunCache returns an empty cache.
+func NewRunCache() *RunCache {
+	return &RunCache{entries: make(map[RunKey]*runEntry)}
+}
+
+// DefaultCache is the process-wide cache the sweep entry points use unless
+// given their own.
+var DefaultCache = NewRunCache()
+
+// Stats reports how many lookups were served from the cache (including
+// waits on an in-flight duplicate) and how many ran a simulation.
+func (c *RunCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of memoized results.
+func (c *RunCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops all memoized results and zeroes the counters. Outstanding
+// waiters on in-flight entries are unaffected.
+func (c *RunCache) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[RunKey]*runEntry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// cloneResult gives each caller private slices so one consumer mutating a
+// result cannot corrupt the cache.
+func cloneResult(r par.Result) par.Result {
+	out := r
+	if r.PerProcFinish != nil {
+		out.PerProcFinish = append([]sim.Time(nil), r.PerProcFinish...)
+	}
+	if r.PerProcCompute != nil {
+		out.PerProcCompute = append([]sim.Time(nil), r.PerProcCompute...)
+	}
+	if r.ClusterWANOut != nil {
+		out.ClusterWANOut = append([]network.LinkStats(nil), r.ClusterWANOut...)
+	}
+	return out
+}
+
+// cacheable reports whether the experiment's result is fully determined by
+// its RunKey. Verification re-runs the computation for its side effects,
+// and Configure/Trace hooks observe or perturb the network in ways the key
+// cannot capture, so those runs bypass the cache.
+func (x Experiment) cacheable() bool {
+	return !x.Verify && x.Configure == nil && x.Trace == nil
+}
+
+// Key returns the experiment's identity for caching.
+func (x Experiment) Key() RunKey {
+	return RunKey{
+		App:       x.App.Name,
+		Scale:     x.Scale,
+		Optimized: x.Optimized,
+		Topo:      x.Topo.String(),
+		Params:    x.Params,
+		Seed:      DefaultSeed,
+	}
+}
+
+// RunCached executes the experiment through the cache: a repeated
+// configuration returns the memoized result without simulating. Errors are
+// memoized too — a configuration that deadlocks will keep reporting it
+// rather than re-deadlocking per lookup. Experiments the key cannot
+// describe (Verify, Configure, Trace) fall through to a plain Run.
+func (x Experiment) RunCached(c *RunCache) (par.Result, error) {
+	if c == nil || !x.cacheable() {
+		return x.Run()
+	}
+	key := x.Key()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return cloneResult(e.res), e.err
+	}
+	e := &runEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e.res, e.err = x.Run()
+	close(e.done)
+	return cloneResult(e.res), e.err
+}

@@ -62,7 +62,7 @@ func ClusterShapeStudy(scale apps.Scale, appNames []string, wanLatency sim.Time,
 		res, err := Experiment{
 			App: app, Scale: scale, Optimized: app.HasOptimized, Topo: topo,
 			Params: network.DefaultParams().WithWAN(wanLatency, wanBandwidth),
-		}.Run()
+		}.RunCached(DefaultCache)
 		if err != nil {
 			return err
 		}

@@ -81,8 +81,16 @@ func (e *Env) ComputeUnits(units int64, costPerUnit sim.Time) {
 	e.Compute(sim.Time(units) * costPerUnit)
 }
 
-// Rand returns this rank's deterministic random stream.
-func (e *Env) Rand() *rand.Rand { return e.rng }
+// Rand returns this rank's deterministic random stream. The stream is
+// created on first use: seeding a math/rand source is surprisingly
+// expensive (the Mitchell-Moore generator warms a 607-entry table), and
+// most applications never draw from it.
+func (e *Env) Rand() *rand.Rand {
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(e.rt.seed + int64(e.rank)*7919))
+	}
+	return e.rng
+}
 
 // Send asynchronously sends data to rank dst; the message occupies bytes of
 // simulated wire size. Send never blocks the caller beyond the modelled
@@ -102,12 +110,12 @@ func (e *Env) Send(dst int, tag Tag, data any, bytes int64) {
 // Recv blocks until a message with the given tag arrives (from anyone) and
 // returns it.
 func (e *Env) Recv(tag Tag) Msg {
-	return e.mb.recv(e.p, AnySender, tag, fmt.Sprintf("recv tag %d", tag))
+	return e.mb.recv(e.p, AnySender, tag)
 }
 
 // RecvFrom blocks until a message with the given tag arrives from rank from.
 func (e *Env) RecvFrom(from int, tag Tag) Msg {
-	return e.mb.recv(e.p, from, tag, fmt.Sprintf("recv tag %d from %d", tag, from))
+	return e.mb.recv(e.p, from, tag)
 }
 
 // TryRecv returns a queued matching message without blocking.

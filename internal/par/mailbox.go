@@ -1,6 +1,8 @@
 package par
 
 import (
+	"fmt"
+
 	"twolayer/internal/sim"
 )
 
@@ -35,6 +37,16 @@ type mailbox struct {
 	wantTag  Tag
 }
 
+// BlockReason renders the receive pattern a blocked owner is waiting for.
+// It implements sim.BlockExplainer, so the string is only built if the
+// simulation deadlocks — the hot receive path never formats anything.
+func (mb *mailbox) BlockReason() string {
+	if mb.wantFrom == AnySender {
+		return fmt.Sprintf("recv tag %d", mb.wantTag)
+	}
+	return fmt.Sprintf("recv tag %d from %d", mb.wantTag, mb.wantFrom)
+}
+
 // match reports whether m satisfies the (from, tag) pattern.
 func match(m *Msg, from int, tag Tag) bool {
 	return (from == AnySender || m.From == from) && (tag == AnyTag || m.Tag == tag)
@@ -63,13 +75,13 @@ func (mb *mailbox) deliver(m Msg) {
 
 // recv blocks p until a message matching the pattern is available, then
 // removes and returns it.
-func (mb *mailbox) recv(p *sim.Proc, from int, tag Tag, reason string) Msg {
+func (mb *mailbox) recv(p *sim.Proc, from int, tag Tag) Msg {
 	for {
 		if m, ok := mb.take(from, tag); ok {
 			return m
 		}
 		mb.wantFrom, mb.wantTag = from, tag
-		mb.cond.Wait(p, reason)
+		mb.cond.WaitExplained(p, mb)
 	}
 }
 

@@ -1,8 +1,8 @@
 package par
 
 import (
-	"fmt"
-	"math/rand"
+	"strconv"
+	"sync"
 
 	"twolayer/internal/network"
 	"twolayer/internal/sim"
@@ -17,6 +17,32 @@ type runtime struct {
 	net    *network.Network
 	envs   []*Env
 	tracer *trace.Collector
+	seed   int64
+}
+
+// rankNames caches the diagnostic process names ("rank0", "rank1", ...)
+// shared by every run in a sweep, keeping string formatting out of the
+// per-run spawn loop. Guarded by its own lock because sweeps run many
+// simulations concurrently.
+var rankNames struct {
+	sync.RWMutex
+	names []string
+}
+
+func rankName(r int) string {
+	rankNames.RLock()
+	if r < len(rankNames.names) {
+		n := rankNames.names[r]
+		rankNames.RUnlock()
+		return n
+	}
+	rankNames.RUnlock()
+	rankNames.Lock()
+	defer rankNames.Unlock()
+	for i := len(rankNames.names); i <= r; i++ {
+		rankNames.names = append(rankNames.names, "rank"+strconv.Itoa(i))
+	}
+	return rankNames.names[r]
 }
 
 // Result summarizes a completed run.
@@ -70,14 +96,13 @@ func runSim(topo *topology.Topology, opts Options, job Job) (Result, error) {
 			})
 		})
 	}
-	seed := opts.Seed
-	rt := &runtime{k: k, topo: topo, net: net, tracer: opts.Trace}
+	rt := &runtime{k: k, topo: topo, net: net, tracer: opts.Trace, seed: opts.Seed}
 	rt.envs = make([]*Env, topo.Procs())
 	procs := make([]*sim.Proc, topo.Procs())
 	for r := 0; r < topo.Procs(); r++ {
-		e := &Env{rt: rt, rank: r, rng: rand.New(rand.NewSource(seed + int64(r)*7919))}
+		e := &Env{rt: rt, rank: r}
 		rt.envs[r] = e
-		procs[r] = k.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+		procs[r] = k.Spawn(rankName(r), func(p *sim.Proc) {
 			e.p = p
 			job(e)
 		})

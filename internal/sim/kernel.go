@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"strings"
 )
 
@@ -9,26 +10,42 @@ import (
 // add processes with Spawn, then call Run. The zero value is not usable.
 //
 // A Kernel is single-threaded by construction: events fire one at a time,
-// and a woken process runs (on its own goroutine) until it blocks again
-// before the kernel touches the next event. Code executed inside processes
-// may therefore freely share memory with the kernel and with other
-// processes without locking, as long as it only runs within the simulation.
+// and a woken process runs until it blocks again before the next event
+// fires. Code executed inside processes may therefore freely share memory
+// with the kernel and with other processes without locking, as long as it
+// only runs within the simulation.
+//
+// Processes are coroutines (iter.Pull), not free-running goroutines:
+// control moves between the event loop and a process by direct coroutine
+// switch, never through the Go scheduler. A process handoff therefore
+// costs on the order of a function call — no channel rendezvous, no
+// thread wake-ups — which matters because a large sweep performs millions
+// of them. As a further shortcut, a blocking process keeps driving the
+// event loop inline until some process other than itself is woken; if its
+// own wake-up comes first (common in compute-heavy phases), it continues
+// without any switch at all.
 type Kernel struct {
-	now        Time
-	seq        uint64
-	queue      eventQueue
-	procs      []*Proc
-	yield      chan struct{} // signalled by a process when it blocks or finishes
+	now   Time
+	seq   uint64
+	queue eventQueue
+	procs []*Proc
+
+	// ready holds processes woken by already-fired events, in wake order;
+	// readyHead is the dispatch cursor. Draining it before popping the next
+	// event preserves the exact interleaving of the classic nested-dispatch
+	// scheduler while letting chains of ready processes run back to back.
+	ready     []*Proc
+	readyHead int
+
 	err        error
+	limitErr   error
 	ran        bool
 	events     uint64 // total events fired, for diagnostics
 	eventLimit uint64 // watchdog; 0 = unlimited
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
-func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
-}
+func NewKernel() *Kernel { return &Kernel{} }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -47,6 +64,17 @@ func (k *Kernel) Schedule(at Time, fn func()) {
 	k.queue.Push(event{at: at, seq: k.seq, fire: fn})
 }
 
+// scheduleProc registers a process wake-up (or start) at absolute virtual
+// time at. Unlike Schedule it needs no closure, so the hot Compute/Sleep
+// path does not allocate.
+func (k *Kernel) scheduleProc(at Time, p *Proc) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	k.seq++
+	k.queue.Push(event{at: at, seq: k.seq, proc: p})
+}
+
 // After registers fn to run d from now. Negative d is treated as zero.
 func (k *Kernel) After(d Time, fn func()) {
 	if d < 0 {
@@ -59,35 +87,76 @@ func (k *Kernel) After(d Time, fn func()) {
 // appears in deadlock diagnostics.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		k:      k,
-		id:     len(k.procs),
-		name:   name,
-		resume: make(chan struct{}),
-		state:  procReady,
+		k:     k,
+		id:    len(k.procs),
+		name:  name,
+		state: procReady,
 	}
-	k.procs = append(k.procs, p)
-	go func() {
-		<-p.resume
+	p.resume, p.cancel = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
+		p.state = procRunning
 		body(p)
 		p.state = procDone
 		p.finishedAt = k.now
-		k.yield <- struct{}{}
-	}()
+	})
+	k.procs = append(k.procs, p)
 	// The initial wake-up event starts the process at time zero (or at the
 	// current time if spawned mid-run).
-	k.Schedule(k.now, func() { k.dispatch(p) })
+	k.scheduleProc(k.now, p)
 	return p
 }
 
-// dispatch hands control to p until it blocks or finishes. It must only be
-// called from kernel context (inside an event's fire function).
-func (k *Kernel) dispatch(p *Proc) {
+// makeReady queues p for dispatch after the current event completes. It
+// must only be called from kernel context (inside an event's fire
+// function, or from the event loop itself).
+func (k *Kernel) makeReady(p *Proc) {
 	if p.state == procDone {
 		panic(fmt.Sprintf("sim: dispatch of finished process %q", p.name))
 	}
-	p.state = procRunning
-	p.resume <- struct{}{}
-	<-k.yield
+	p.state = procReady
+	if k.readyHead == len(k.ready) {
+		k.ready = k.ready[:0]
+		k.readyHead = 0
+	}
+	k.ready = append(k.ready, p)
+}
+
+// step fires pending events until a process becomes ready or the
+// simulation is over (queue drained or watchdog tripped). It may run on
+// the Run goroutine or inline on a blocking process's coroutine; either
+// way exactly one goroutine executes at a time.
+func (k *Kernel) step() {
+	for k.readyHead == len(k.ready) {
+		if k.limitErr != nil || k.queue.Len() == 0 {
+			return
+		}
+		ev := k.queue.Pop()
+		if ev.at < k.now {
+			panic("sim: event time went backwards")
+		}
+		k.now = ev.at
+		k.events++
+		if k.eventLimit > 0 && k.events > k.eventLimit {
+			k.limitErr = fmt.Errorf("sim: event limit %d exceeded at %v (livelock?)", k.eventLimit, k.now)
+			return
+		}
+		if ev.proc != nil {
+			k.makeReady(ev.proc)
+		} else {
+			ev.fire()
+		}
+	}
+}
+
+// takeReady removes and returns the next ready process, or nil.
+func (k *Kernel) takeReady() *Proc {
+	if k.readyHead == len(k.ready) {
+		return nil
+	}
+	p := k.ready[k.readyHead]
+	k.ready[k.readyHead] = nil
+	k.readyHead++
+	return p
 }
 
 // SetEventLimit arms a watchdog: Run aborts with an error after firing
@@ -105,22 +174,21 @@ func (k *Kernel) Run() error {
 		return fmt.Errorf("sim: kernel ran already")
 	}
 	k.ran = true
-	for k.queue.Len() > 0 {
-		ev := k.queue.Pop()
-		if ev.at < k.now {
-			panic("sim: event time went backwards")
+	for {
+		k.step()
+		p := k.takeReady()
+		if p == nil {
+			break // simulation over
 		}
-		k.now = ev.at
-		k.events++
-		if k.eventLimit > 0 && k.events > k.eventLimit {
-			return fmt.Errorf("sim: event limit %d exceeded at %v (livelock?)", k.eventLimit, k.now)
-		}
-		ev.fire()
+		p.resume() // direct switch to the process until it blocks or finishes
+	}
+	if k.limitErr != nil {
+		return k.limitErr
 	}
 	var stuck []string
 	for _, p := range k.procs {
 		if p.state != procDone {
-			stuck = append(stuck, fmt.Sprintf("%s(%s)", p.name, p.blockReason))
+			stuck = append(stuck, fmt.Sprintf("%s(%s)", p.name, p.reason()))
 		}
 	}
 	if len(stuck) > 0 {

@@ -11,17 +11,35 @@ const (
 	procDone
 )
 
-// Proc is a simulated process: a goroutine whose execution is interleaved
+// BlockExplainer describes why a process is blocked. Passing an explainer
+// instead of a string keeps blocking cheap on the hot path: the description
+// is only rendered if the simulation deadlocks, so callers with dynamic
+// context (e.g. "recv tag 7 from 3") need not format it per block.
+type BlockExplainer interface {
+	BlockReason() string
+}
+
+// Proc is a simulated process: a coroutine whose execution is interleaved
 // with the kernel's event loop. All Proc methods must be called from the
 // process's own body function; calling them from outside the simulation is
 // a programming error.
 type Proc struct {
-	k           *Kernel
-	id          int
-	name        string
-	resume      chan struct{}
+	k    *Kernel
+	id   int
+	name string
+
+	// resume switches into the coroutine until it blocks or finishes;
+	// yield (set by the coroutine itself on first resume) switches back.
+	// cancel is iter.Pull's stop function, retained for completeness; the
+	// kernel never tears a process down mid-body, matching the semantics
+	// of the simulated machines.
+	resume func() (struct{}, bool)
+	yield  func(struct{}) bool
+	cancel func()
+
 	state       procState
 	blockReason string
+	blockDetail BlockExplainer
 	finishedAt  Time
 
 	computeTime Time // accumulated virtual compute time, for utilization stats
@@ -47,26 +65,47 @@ func (p *Proc) ComputeTime() Time { return p.computeTime }
 // meaningful only after Kernel.Run completes.
 func (p *Proc) FinishedAt() Time { return p.finishedAt }
 
-// block suspends the process until some event wakes it via wake. The reason
-// string appears in deadlock reports.
-func (p *Proc) block(reason string) {
-	p.state = procBlocked
-	p.blockReason = reason
-	p.k.yield <- struct{}{}
-	<-p.resume
-	p.state = procRunning
-	p.blockReason = ""
+// reason renders the block reason for deadlock diagnostics.
+func (p *Proc) reason() string {
+	if p.blockDetail != nil {
+		return p.blockDetail.BlockReason()
+	}
+	return p.blockReason
 }
 
-// wake schedules the process to resume at the current virtual time. It must
-// be called from kernel context (an event handler), never from another
-// process.
+// block suspends the process until some event wakes it via wake. The
+// blocking process first drives the event loop inline; if its own wake-up
+// is the next thing to run it simply continues, and only otherwise does it
+// switch back to the kernel's Run loop to dispatch whichever process was
+// woken instead.
+func (p *Proc) block(reason string, detail BlockExplainer) {
+	p.state = procBlocked
+	p.blockReason = reason
+	p.blockDetail = detail
+	k := p.k
+	k.step()
+	if k.readyHead < len(k.ready) && k.ready[k.readyHead] == p {
+		// Own wake-up came first: continue without any switch.
+		k.ready[k.readyHead] = nil
+		k.readyHead++
+	} else {
+		// Another process (or nothing at all — deadlock or watchdog trip)
+		// is next: hand control back to Run.
+		p.yield(struct{}{})
+	}
+	p.state = procRunning
+	p.blockReason = ""
+	p.blockDetail = nil
+}
+
+// wake schedules the process to resume once the current event completes.
+// It must be called from kernel context (an event handler), never from
+// another process.
 func (p *Proc) wake() {
 	if p.state != procBlocked {
 		panic(fmt.Sprintf("sim: wake of process %q in state %d", p.name, p.state))
 	}
-	p.state = procReady
-	p.k.dispatch(p)
+	p.k.makeReady(p)
 }
 
 // Compute advances the process's local virtual time by d, modelling
@@ -79,8 +118,8 @@ func (p *Proc) Compute(d Time) {
 	if d == 0 {
 		return
 	}
-	p.k.Schedule(p.k.Now()+d, func() { p.wake() })
-	p.block("compute")
+	p.k.scheduleProc(p.k.now+d, p)
+	p.block("compute", nil)
 }
 
 // Sleep is Compute without counting toward compute-time statistics; use it
@@ -89,8 +128,8 @@ func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	p.k.Schedule(p.k.Now()+d, func() { p.wake() })
-	p.block("sleep")
+	p.k.scheduleProc(p.k.now+d, p)
+	p.block("sleep", nil)
 }
 
 // Cond is a single-waiter condition a process can block on and that kernel
@@ -106,11 +145,23 @@ func (c *Cond) Wait(p *Proc, reason string) {
 		panic("sim: Cond has a waiter already")
 	}
 	c.waiter = p
-	p.block(reason)
+	p.block(reason, nil)
 }
 
-// Signal wakes the waiting process, if any. It must be called from kernel
-// context. It reports whether a process was woken.
+// WaitExplained is Wait with a lazily-rendered block reason: detail is only
+// consulted if the simulation deadlocks, so hot receive paths need not
+// format a reason string per call.
+func (c *Cond) WaitExplained(p *Proc, detail BlockExplainer) {
+	if c.waiter != nil {
+		panic("sim: Cond has a waiter already")
+	}
+	c.waiter = p
+	p.block("", detail)
+}
+
+// Signal wakes the waiting process, if any; it resumes once the current
+// event completes. Signal must be called from kernel context. It reports
+// whether a process was woken.
 func (c *Cond) Signal() bool {
 	if c.waiter == nil {
 		return false

@@ -162,11 +162,16 @@ type (
 	ShapeResult = core.ShapeResult
 	// CollectiveResult compares flat and hierarchical collectives.
 	CollectiveResult = core.CollectiveResult
+	// RunCache memoizes experiment results across sweeps.
+	RunCache = core.RunCache
+	// RunKey identifies a deterministic experiment in a RunCache.
+	RunKey = core.RunKey
 )
 
 // Harness entry points, re-exported.
 var (
 	NewBaselines         = core.NewBaselines
+	NewRunCache          = core.NewRunCache
 	RelativeSpeedup      = core.RelativeSpeedup
 	CommTimePercent      = core.CommTimePercent
 	Table1               = core.Table1
