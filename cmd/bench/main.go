@@ -1,11 +1,16 @@
-// Command bench measures the simulator's hot paths — the raw event loop, a
-// blocking process handoff chain, and a full communication-heavy
-// application run — and writes the numbers as JSON for tracking across
-// revisions.
+// Command bench measures the simulator's hot paths and writes the numbers
+// as JSON for tracking across revisions. It has three modes:
+//
+//	bench                  # simulator kernel: event loop, handoffs, full run
+//	bench -apps            # application compute kernels (ns per force pair,
+//	                       # butterfly, row relaxation, node expansion)
+//	bench -figures         # end-to-end: cold vs disk-cached Figure 3 sweep
 //
 // Example:
 //
 //	bench -o BENCH_kernel.json -repeat 5
+//	bench -apps -o results/BENCH_apps.json
+//	bench -figures -o results/BENCH_figures.json -prev 53.9
 package main
 
 import (
@@ -17,6 +22,12 @@ import (
 	"time"
 
 	"twolayer/internal/apps"
+	"twolayer/internal/apps/asp"
+	"twolayer/internal/apps/awari"
+	"twolayer/internal/apps/barneshut"
+	"twolayer/internal/apps/fft"
+	"twolayer/internal/apps/tsp"
+	"twolayer/internal/apps/water"
 	"twolayer/internal/core"
 	"twolayer/internal/network"
 	"twolayer/internal/sim"
@@ -126,11 +137,135 @@ func fftRun() (uint64, error) {
 	return res.Events, nil
 }
 
+// count adapts an application kernel hook (iters in, operation count out)
+// to measure's signature.
+func count(iters int, fn func(int) int64) func() (uint64, error) {
+	return func() (uint64, error) { return uint64(fn(iters)), nil }
+}
+
+type bench struct {
+	name string
+	fn   func() (uint64, error)
+}
+
+// kernelBenches are the simulator hot paths (the default mode).
+func kernelBenches(chain int) []bench {
+	return []bench{
+		{"kernel_schedule_fire", func() (uint64, error) { return kernelChain(chain) }},
+		{"process_handoff", func() (uint64, error) { return handoffChain(chain / 2) }},
+		{"fft_small_das", fftRun},
+	}
+}
+
+// appBenches are the six Paper-scale application compute kernels. The
+// iteration counts are sized so each run takes tens of milliseconds,
+// enough that the median over -repeat runs is stable.
+func appBenches() []bench {
+	return []bench{
+		{"water_force_pair", count(100, water.BenchForcePairs)},
+		{"fft_butterfly", count(50, fft.BenchButterflies)},
+		{"asp_row_relaxation", count(1, asp.BenchRowRelaxations)},
+		{"barneshut_interaction", count(100, barneshut.BenchTreeForce)},
+		{"tsp_node_expansion", count(1, tsp.BenchNodeExpansions)},
+		{"awari_state_expansion", count(100, awari.BenchStateExpansions)},
+	}
+}
+
+// cacheCounters is the JSON rendering of one phase's cache statistics.
+type cacheCounters struct {
+	MemoryHits uint64 `json:"memory_hits"`
+	DiskHits   uint64 `json:"disk_hits"`
+	Simulated  uint64 `json:"simulated"`
+	Stale      uint64 `json:"stale"`
+}
+
+func counters(s core.CacheStats) cacheCounters {
+	return cacheCounters{MemoryHits: s.Hits, DiskHits: s.DiskHits, Simulated: s.Misses, Stale: s.Stale}
+}
+
+// figuresReport records the cold/warm Figure 3 regeneration experiment:
+// the headline numbers the persistent run cache exists for.
+type figuresReport struct {
+	Benchmark       string        `json:"benchmark"`
+	Scale           string        `json:"scale"`
+	PrevColdSeconds float64       `json:"prev_cold_seconds"`
+	ColdSeconds     float64       `json:"cold_seconds"`
+	WarmSeconds     float64       `json:"warm_seconds"`
+	SpeedupVsPrev   float64       `json:"cold_speedup_vs_prev"`
+	WarmSpeedup     float64       `json:"warm_speedup_vs_cold"`
+	Cold            cacheCounters `json:"cold"`
+	Warm            cacheCounters `json:"warm"`
+}
+
+// benchFigures times a cold paper-scale Figure 3 sweep into an empty
+// persistent cache directory, then drops the in-memory layer and reruns:
+// the warm pass must replay entirely from disk, with zero simulations.
+func benchFigures(prev float64) (figuresReport, error) {
+	dir, err := os.MkdirTemp("", "twolayer-figbench-")
+	if err != nil {
+		return figuresReport{}, err
+	}
+	defer os.RemoveAll(dir)
+	cache := core.NewRunCache()
+	if err := cache.SetDir(dir); err != nil {
+		return figuresReport{}, err
+	}
+	opts := core.Figure3Options{Cache: cache}
+
+	fmt.Fprintln(os.Stderr, "bench: cold paper-scale Figure 3 sweep (empty cache)...")
+	start := time.Now()
+	if _, err := core.Figure3(apps.Paper, opts); err != nil {
+		return figuresReport{}, err
+	}
+	cold := time.Since(start)
+	coldStats := cache.CacheStats()
+
+	cache.Reset() // drop memory, keep the disk layer: a new process's view
+	fmt.Fprintln(os.Stderr, "bench: warm rerun (disk cache only)...")
+	start = time.Now()
+	if _, err := core.Figure3(apps.Paper, opts); err != nil {
+		return figuresReport{}, err
+	}
+	warm := time.Since(start)
+	warmStats := cache.CacheStats()
+	if warmStats.Misses != 0 {
+		return figuresReport{}, fmt.Errorf("warm rerun simulated %d runs; want 0 (disk cache not effective)", warmStats.Misses)
+	}
+
+	return figuresReport{
+		Benchmark:       "figure3_cold_vs_disk_cached",
+		Scale:           "paper",
+		PrevColdSeconds: prev,
+		ColdSeconds:     cold.Seconds(),
+		WarmSeconds:     warm.Seconds(),
+		SpeedupVsPrev:   prev / cold.Seconds(),
+		WarmSpeedup:     cold.Seconds() / warm.Seconds(),
+		Cold:            counters(coldStats),
+		Warm:            counters(warmStats),
+	}, nil
+}
+
+func writeOut(out string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+		return nil
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_kernel.json", "output JSON file (\"-\" for stdout)")
-		repeat = flag.Int("repeat", 5, "runs per benchmark; the median is kept")
-		chain  = flag.Int("n", 2_000_000, "chain length for the kernel and handoff microbenchmarks")
+		out      = flag.String("o", "", "output JSON file (\"-\" for stdout; default depends on mode)")
+		repeat   = flag.Int("repeat", 5, "runs per benchmark; the median is kept")
+		chain    = flag.Int("n", 2_000_000, "chain length for the kernel and handoff microbenchmarks")
+		appsMode = flag.Bool("apps", false, "benchmark the application compute kernels instead")
+		figMode  = flag.Bool("figures", false, "benchmark cold vs disk-cached Figure 3 regeneration instead")
+		prev     = flag.Float64("prev", 53.9, "previous revision's cold Figure 3 seconds (-figures baseline)")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -141,19 +276,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench: -n must be at least 1")
 		os.Exit(2)
 	}
+	if *appsMode && *figMode {
+		fmt.Fprintln(os.Stderr, "bench: -apps and -figures are mutually exclusive")
+		os.Exit(2)
+	}
 
-	benches := []struct {
-		name string
-		fn   func() (uint64, error)
-	}{
-		{"kernel_schedule_fire", func() (uint64, error) { return kernelChain(*chain) }},
-		{"process_handoff", func() (uint64, error) { return handoffChain(*chain / 2) }},
-		{"fft_small_das", fftRun},
+	if *figMode {
+		if *out == "" {
+			*out = "BENCH_figures.json"
+		}
+		rep, err := benchFigures(*prev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cold %.1fs (%.2fx vs previous %.1fs)  warm %.2fs (%.0fx, %d disk hits, 0 simulated)\n",
+			rep.ColdSeconds, rep.SpeedupVsPrev, rep.PrevColdSeconds,
+			rep.WarmSeconds, rep.WarmSpeedup, rep.Warm.DiskHits)
+		if err := writeOut(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	benches := kernelBenches(*chain)
+	unit := "median over runs; events are simulator events"
+	if *appsMode {
+		benches = appBenches()
+		unit = "median over runs; events are application kernel operations (force pairs, butterflies, row relaxations, node expansions)"
+		if *out == "" {
+			*out = "BENCH_apps.json"
+		}
+	} else if *out == "" {
+		*out = "BENCH_kernel.json"
 	}
 	report := struct {
 		Unit    string        `json:"unit"`
 		Results []Measurement `json:"results"`
-	}{Unit: "median over runs"}
+	}{Unit: unit}
 	for _, bm := range benches {
 		m, err := measure(bm.name, *repeat, bm.fn)
 		if err != nil {
@@ -164,17 +325,7 @@ func main() {
 			m.Name, m.Events, m.NsPerEvent, m.EventsPerSec)
 		report.Results = append(report.Results, m)
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := writeOut(*out, report); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

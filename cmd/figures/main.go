@@ -41,14 +41,21 @@ func main() {
 		shapes = flag.Bool("shapes", false, "cluster-structure study (Section 5.1)")
 		varia  = flag.Bool("variability", false, "wide-area fluctuation study (the paper's future work)")
 		all    = flag.Bool("all", false, "regenerate everything")
-		scaleF = flag.String("scale", "paper", "problem scale: tiny, small or paper")
-		appsF  = flag.String("apps", "", "comma-separated application filter (Figure 3)")
-		csv    = flag.Bool("csv", false, "emit Figure 3 as CSV")
+		scaleF   = flag.String("scale", "paper", "problem scale: tiny, small or paper")
+		appsF    = flag.String("apps", "", "comma-separated application filter (Figure 3)")
+		csv      = flag.Bool("csv", false, "emit Figure 3 as CSV")
+		cacheDir = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
 	flag.Parse()
 	scale, err := parseScale(*scaleF)
 	if err != nil {
 		fatal(err)
+	}
+	if !*noCache {
+		if err := core.DefaultCache.SetDir(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: run cache disabled: %v\n", err)
+		}
 	}
 	var filter []string
 	if *appsF != "" {
@@ -149,6 +156,10 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if s := core.DefaultCache.CacheStats(); s.Hits+s.DiskHits+s.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "run cache: %d memory hits, %d disk hits, %d simulated, %d stale\n",
+			s.Hits, s.DiskHits, s.Misses, s.Stale)
 	}
 }
 

@@ -39,8 +39,20 @@ func main() {
 		tcp        = flag.Float64("tcp", 0, "TCP-like per-message link occupancy as a fraction of the RTT")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+		cacheDir   = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
 	flag.Parse()
+
+	if *bandwidth <= 0 {
+		fatal(fmt.Errorf("-bandwidth must be positive (got %g MByte/s)", *bandwidth))
+	}
+	if *clusters < 1 {
+		fatal(fmt.Errorf("-clusters must be at least 1 (got %d)", *clusters))
+	}
+	if *perCluster < 1 {
+		fatal(fmt.Errorf("-percluster must be at least 1 (got %d)", *perCluster))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -67,7 +79,10 @@ func main() {
 		}()
 	}
 
-	scale := map[string]apps.Scale{"tiny": apps.Tiny, "small": apps.Small, "paper": apps.Paper}[*scaleF]
+	scale, ok := map[string]apps.Scale{"tiny": apps.Tiny, "small": apps.Small, "paper": apps.Paper}[*scaleF]
+	if !ok {
+		fatal(fmt.Errorf("unknown scale %q (want tiny, small or paper)", *scaleF))
+	}
 	app, err := core.AppByName(*appName)
 	if err != nil {
 		fatal(err)
@@ -97,7 +112,12 @@ func main() {
 		tr = trace.NewCollector(topo.Procs())
 		x.Trace = tr
 	}
-	res, err := x.Run()
+	if !*noCache {
+		if err := core.DefaultCache.SetDir(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: run cache disabled: %v\n", err)
+		}
+	}
+	res, err := x.RunCached(core.DefaultCache)
 	if err != nil {
 		fatal(err)
 	}
@@ -122,6 +142,12 @@ func main() {
 			c, s.Messages, float64(s.Bytes)/1e6/res.Elapsed.Seconds())
 	}
 	fmt.Printf("simulator effort:   %d events\n", res.Events)
+	// To stderr: the report on stdout must be byte-identical across reruns
+	// (the determinism contract), and cache effectiveness is not.
+	if s := core.DefaultCache.CacheStats(); s.Hits+s.DiskHits+s.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "run cache:          %d memory hits, %d disk hits, %d simulated, %d stale\n",
+			s.Hits, s.DiskHits, s.Misses, s.Stale)
+	}
 	if *verify {
 		fmt.Println("verification:       output matches the sequential reference")
 	}

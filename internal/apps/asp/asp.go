@@ -231,10 +231,10 @@ func (a *ASP) run(e *par.Env, optimized bool) {
 	n := cfg.N
 	lo, hi := a.rowsOf(r)
 
-	// Replicated matrix, locally initialized (zero virtual cost). Each rank
-	// only updates its own rows; pivot rows arrive by broadcast.
-	dist := randomGraph(n, cfg.Seed)
-	mine := dist[lo:hi]
+	// Locally initialized (zero virtual cost). Each rank only updates its
+	// own rows; pivot rows arrive by broadcast, so only the owned block is
+	// materialized.
+	mine := randomGraphRows(n, cfg.Seed, lo, hi)
 
 	// Sequencer bookkeeping. The token arrives from the previous sequencer
 	// before the first grant; rank sequencerFor(0) starts with it. With
@@ -268,17 +268,7 @@ func (a *ASP) run(e *par.Env, optimized bool) {
 	next := 0 // next pivot to apply
 
 	relax := func(rowk []int32, k int) {
-		for i := range mine {
-			dik := mine[i][k]
-			if dik >= inf {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if v := dik + rowk[j]; v < mine[i][j] {
-					mine[i][j] = v
-				}
-			}
-		}
+		relaxRows(mine, rowk, k)
 		e.ComputeUnits(int64(len(mine)*n), cfg.RelaxCost)
 		next++
 	}

@@ -18,7 +18,6 @@ package awari
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"twolayer/internal/apps"
 	"twolayer/internal/par"
@@ -78,16 +77,27 @@ func New(cfg Config, procs int) *Awari {
 	return &Awari{cfg: cfg, procs: procs, result: make(map[State]Value)}
 }
 
+// FNV-1a constants, matching hash/fnv's 32-bit parameters.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// stateHash is FNV-1a over the pit bytes followed by the mover byte —
+// the same byte sequence the hash/fnv-based original wrote, unrolled to
+// avoid the hasher allocation. Integer arithmetic, so the value (and the
+// state-to-rank placement the whole run depends on) is bit-identical.
+func stateHash(s State) uint32 {
+	h := uint32(fnvOffset32)
+	for _, v := range s.Pits {
+		h = (h ^ uint32(byte(v))) * fnvPrime32
+	}
+	return (h ^ uint32(byte(s.Mover))) * fnvPrime32
+}
+
 // owner hashes a state to its owning rank.
 func (a *Awari) owner(s State) int {
-	h := fnv.New32a()
-	var buf [maxPits + 1]byte
-	for i, v := range s.Pits {
-		buf[i] = byte(v)
-	}
-	buf[maxPits] = byte(s.Mover)
-	h.Write(buf[:])
-	return int(h.Sum32() % uint32(a.procs))
+	return int(stateHash(s) % uint32(a.procs))
 }
 
 // update is one unit of the asynchronous traffic: either a subscription
@@ -345,6 +355,7 @@ func (a *Awari) run(e *par.Env, optimized bool) {
 		return active
 	}
 
+	var succBuf []State // reused across states; movesInto keeps it capacity-stable
 	for level = 0; level <= cfg.MaxStones; level++ {
 		// Setup: own states at this level.
 		states := rules.enumerate(level)
@@ -354,7 +365,8 @@ func (a *Awari) run(e *par.Env, optimized bool) {
 				continue
 			}
 			ownedStates++
-			succ := rules.moves(u)
+			succ := rules.movesInto(succBuf, u)
+			succBuf = succ
 			if len(succ) == 0 {
 				solve(u, Loss)
 				continue

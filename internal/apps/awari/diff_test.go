@@ -1,0 +1,75 @@
+package awari
+
+// Differential tests pinning the allocation-free move generator and the
+// unrolled state hash against the original forms. Both are pure integer
+// computations, so equality is exact.
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestMovesIntoIdenticalToMoves walks every state of every level a Small
+// board reaches and compares the buffered generator (with an aggressively
+// reused buffer) against the allocating one, order included.
+func TestMovesIntoIdenticalToMoves(t *testing.T) {
+	r := Rules{PitsPerSide: 3}
+	var buf []State
+	for stones := 1; stones <= 5; stones++ {
+		for _, s := range r.enumerate(stones) {
+			want := r.moves(s)
+			buf = r.movesInto(buf, s)
+			if len(buf) != len(want) {
+				t.Fatalf("state %+v: %d successors, naive %d", s, len(buf), len(want))
+			}
+			for i := range buf {
+				if buf[i] != want[i] {
+					t.Fatalf("state %+v: successor %d = %+v, naive %+v", s, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// refHash is the original hash/fnv implementation: FNV-1a over the pit
+// bytes followed by the mover byte.
+func refHash(s State) uint32 {
+	h := fnv.New32a()
+	for _, v := range s.Pits {
+		h.Write([]byte{byte(v)})
+	}
+	h.Write([]byte{byte(s.Mover)})
+	return h.Sum32()
+}
+
+// TestStateHashMatchesFNV compares the unrolled hash — which decides
+// state-to-rank placement, hence all communication — against hash/fnv.
+func TestStateHashMatchesFNV(t *testing.T) {
+	r := Rules{PitsPerSide: 3}
+	for stones := 1; stones <= 5; stones++ {
+		for _, s := range r.enumerate(stones) {
+			if got, want := stateHash(s), refHash(s); got != want {
+				t.Fatalf("state %+v: hash %#x, fnv %#x", s, got, want)
+			}
+		}
+	}
+}
+
+// TestEnumerateSharedIsPristine checks consumers have not mutated the
+// memoized level enumerations: a second generation must match the cached
+// slice exactly.
+func TestEnumerateSharedIsPristine(t *testing.T) {
+	r := Rules{PitsPerSide: 3}
+	for stones := 1; stones <= 5; stones++ {
+		cached := r.enumerate(stones)
+		fresh := r.generateLevel(stones)
+		if len(cached) != len(fresh) {
+			t.Fatalf("level %d: %d cached states, %d fresh", stones, len(cached), len(fresh))
+		}
+		for i := range cached {
+			if cached[i] != fresh[i] {
+				t.Fatalf("level %d state %d: cached %+v, fresh %+v", stones, i, cached[i], fresh[i])
+			}
+		}
+	}
+}

@@ -14,6 +14,8 @@ package awari
 // wants, while exercising the same bottom-up machinery as the paper's
 // 9-stone database construction.
 
+import "sync"
+
 // maxPits bounds the board size so states are comparable array values.
 const maxPits = 8
 
@@ -66,10 +68,18 @@ func (r Rules) stones(s State) int {
 // moves generates all successor states of s. Captures remove stones, so a
 // successor's level is at most the state's level.
 func (r Rules) moves(s State) []State {
+	return r.movesInto(nil, s)
+}
+
+// movesInto appends the successor states of s to buf (resliced to empty
+// first) and returns it: the allocation-free form the per-rank solvers use
+// with a reused buffer. Generation order and contents are identical to
+// moves.
+func (r Rules) movesInto(buf []State, s State) []State {
 	p := r.PitsPerSide
 	total := 2 * p
 	lo := int(s.Mover) * p
-	var out []State
+	out := buf[:0]
 	for src := lo; src < lo+p; src++ {
 		n := int(s.Pits[src])
 		if n == 0 {
@@ -97,9 +107,42 @@ func (r Rules) moves(s State) []State {
 	return out
 }
 
+// enumCache memoizes level enumerations: every rank of every run in a
+// sweep walks the identical deterministic state list, and the recursive
+// stone placement dominates per-level setup at paper scale. Entries are
+// shared read-only — State is a value type and every consumer only ranges
+// over the slice.
+var enumCache struct {
+	sync.Mutex
+	levels map[[2]int][]State
+}
+
 // enumerate lists every state with exactly stones stones on a board with
-// the given rules, both movers, in deterministic order.
+// the given rules, both movers, in deterministic order. The returned slice
+// is shared and must not be mutated.
 func (r Rules) enumerate(stones int) []State {
+	key := [2]int{r.PitsPerSide, stones}
+	enumCache.Lock()
+	cached, ok := enumCache.levels[key]
+	enumCache.Unlock()
+	if ok {
+		return cached
+	}
+	out := r.generateLevel(stones)
+	enumCache.Lock()
+	if enumCache.levels == nil {
+		enumCache.levels = make(map[[2]int][]State)
+	}
+	if len(enumCache.levels) > 64 { // a few rules x a dozen levels in practice
+		clear(enumCache.levels)
+	}
+	enumCache.levels[key] = out
+	enumCache.Unlock()
+	return out
+}
+
+// generateLevel is the uncached enumeration.
+func (r Rules) generateLevel(stones int) []State {
 	p2 := 2 * r.PitsPerSide
 	var out []State
 	var pits [maxPits]int8

@@ -137,10 +137,19 @@ func (b *BarnesHut) run(e *par.Env, optimized bool) {
 	lo, hi := b.blockOf(r)
 
 	// Deterministic, zero-virtual-cost setup; the spatial sort gives each
-	// rank a compact region so remote essential sets aggregate well.
-	all := initialBodies(cfg.N, cfg.Seed)
-	spatialSort(all)
+	// rank a compact region so remote essential sets aggregate well. The
+	// sorted cloud is memoized across ranks and runs; only this rank's
+	// block is copied (it is integrated in place).
+	all := sortedBodies(cfg.N, cfg.Seed)
 	mine := append([]Body(nil), all[lo:hi]...)
+
+	// Per-rank scratch recycled across iterations: the local and merged
+	// interactor trees are rebuilt every step, and node pooling removes the
+	// build phase's allocations entirely in the steady state.
+	localArena, remoteArena := newArena(), newArena()
+	var remoteScratch []Body
+	var merged []Interactor
+	forces := make([]Vec, len(mine))
 
 	for it := 0; it < cfg.Iters; it++ {
 		// Superstep 1: exchange block bounding boxes (small messages).
@@ -161,7 +170,7 @@ func (b *BarnesHut) run(e *par.Env, optimized bool) {
 		}
 
 		// Local tree build.
-		t := buildTree(mine)
+		t := buildTreeIn(localArena, mine)
 		e.ComputeUnits(t.nodes, cfg.BuildCost)
 
 		// Superstep 2: export and ship essential sets.
@@ -240,14 +249,14 @@ func (b *BarnesHut) run(e *par.Env, optimized bool) {
 		// Compute: merge the received essential sets (in rank order, for
 		// determinism) into one interactor tree, then per body combine the
 		// local theta traversal with a theta traversal of the merged tree.
-		var merged []Interactor
+		merged = merged[:0]
 		for s := 0; s < p; s++ {
 			merged = append(merged, remote[s]...)
 		}
-		rt := buildInteractorTree(merged)
+		var rt *tree
+		rt, remoteScratch = buildInteractorTreeIn(remoteArena, remoteScratch, merged)
 		e.ComputeUnits(rt.nodes, cfg.BuildCost)
 		var work int64
-		forces := make([]Vec, len(mine))
 		for i := range mine {
 			acc, w := t.forceLocal(i, cfg.Theta)
 			work += w
@@ -279,13 +288,21 @@ func (b *BarnesHut) run(e *par.Env, optimized bool) {
 func (b *BarnesHut) sequentialRun() []Vec {
 	cfg := b.cfg
 	p := b.procs
-	all := initialBodies(cfg.N, cfg.Seed)
-	spatialSort(all)
+	all := sortedBodies(cfg.N, cfg.Seed)
 	blocks := make([][]Body, p)
 	for r := 0; r < p; r++ {
 		lo, hi := b.blockOf(r)
 		blocks[r] = append([]Body(nil), all[lo:hi]...)
 	}
+	// All p local trees are alive at once within an iteration, so each rank
+	// keeps its own arena; the merged interactor tree is consumed inside
+	// the per-rank loop and shares one.
+	arenas := make([]*arena, p)
+	for r := range arenas {
+		arenas[r] = newArena()
+	}
+	rtArena := newArena()
+	var rtScratch []Body
 	for it := 0; it < cfg.Iters; it++ {
 		boxes := make([]box, p)
 		trees := make([]*tree, p)
@@ -293,7 +310,7 @@ func (b *BarnesHut) sequentialRun() []Vec {
 			boxes[r] = boundsOf(blocks[r])
 		}
 		for r := 0; r < p; r++ {
-			trees[r] = buildTree(blocks[r])
+			trees[r] = buildTreeIn(arenas[r], blocks[r])
 		}
 		exports := make([][][]Interactor, p) // exports[src][dst]
 		for s := 0; s < p; s++ {
@@ -313,7 +330,8 @@ func (b *BarnesHut) sequentialRun() []Vec {
 				}
 				merged = append(merged, exports[s][r]...)
 			}
-			rt := buildInteractorTree(merged)
+			var rt *tree
+			rt, rtScratch = buildInteractorTreeIn(rtArena, rtScratch, merged)
 			forces := make([]Vec, len(blocks[r]))
 			for i := range blocks[r] {
 				acc, _ := trees[r].forceLocal(i, cfg.Theta)

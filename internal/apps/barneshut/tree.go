@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Vec is a 3-component vector.
@@ -102,19 +103,66 @@ type node struct {
 	count    int
 }
 
+// arena hands out octree nodes from chunked slabs and recycles them
+// wholesale between tree builds. Trees are rebuilt every timestep on every
+// rank, so pooling removes the dominant allocation of the build phase; a
+// recycled node keeps its bodyIdx backing array, so steady-state builds
+// allocate nothing at all. Chunks (not one growable slab) keep previously
+// returned *node pointers stable while the arena grows.
+type arena struct {
+	chunks [][]node
+	chunk  int // current chunk index
+	used   int // nodes handed out from the current chunk
+}
+
+const arenaChunk = 256
+
+func newArena() *arena { return &arena{} }
+
+// alloc returns a zeroed node, retaining only the recycled bodyIdx
+// capacity.
+func (a *arena) alloc() *node {
+	if a.chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]node, arenaChunk))
+	}
+	n := &a.chunks[a.chunk][a.used]
+	a.used++
+	if a.used == arenaChunk {
+		a.chunk++
+		a.used = 0
+	}
+	idx := n.bodyIdx
+	*n = node{bodyIdx: idx[:0]}
+	return n
+}
+
+// reset recycles every node. The caller must no longer use trees built
+// from this arena.
+func (a *arena) reset() { a.chunk, a.used = 0, 0 }
+
 // tree is an octree over a body set, remembering the indices used.
 type tree struct {
 	root   *node
 	bodies []Body
 	nodes  int64 // created nodes, drives the build cost model
+	a      *arena
 }
 
 const maxDepth = 24
 
 // buildTree constructs an octree over the bodies (indices are positions in
-// the slice).
+// the slice) with a private arena; loops that rebuild trees every step use
+// buildTreeIn to recycle one.
 func buildTree(bodies []Body) *tree {
-	t := &tree{bodies: bodies}
+	return buildTreeIn(newArena(), bodies)
+}
+
+// buildTreeIn is buildTree allocating from a, which is reset first: trees
+// previously built from a must be dead. Node placement, creation counts
+// and all summarized values are identical to a fresh-allocation build.
+func buildTreeIn(a *arena, bodies []Body) *tree {
+	a.reset()
+	t := &tree{bodies: bodies, a: a}
 	if len(bodies) == 0 {
 		return t
 	}
@@ -135,7 +183,9 @@ func buildTree(bodies []Body) *tree {
 
 func (t *tree) newNode(center Vec, half float64) *node {
 	t.nodes++
-	return &node{center: center, half: half, leaf: true}
+	n := t.a.alloc()
+	n.center, n.half, n.leaf = center, half, true
+	return n
 }
 
 func (t *tree) insert(n *node, idx, depth int) {
@@ -148,7 +198,7 @@ func (t *tree) insert(n *node, idx, depth int) {
 			return
 		}
 		old := n.bodyIdx
-		n.bodyIdx = nil
+		n.bodyIdx = old[:0] // keep the backing array for recycling
 		n.leaf = false
 		for _, o := range old {
 			t.insertChild(n, o, depth)
@@ -224,41 +274,51 @@ func accumulate(acc *Vec, pos Vec, it Interactor) {
 	*acc = acc.Add(d.Scale(inv))
 }
 
+// forceAcc accumulates one body's traversal: the acceleration so far and
+// the number of interactions evaluated. A struct threaded through a method
+// recursion replaces the former per-call closure (closure + captured
+// variables were a measurable share of the force phase); visit order and
+// accumulate calls are unchanged, so results stay bit-identical.
+type forceAcc struct {
+	acc  Vec
+	work int64
+}
+
+// forceNode is the shared theta-criterion descent: skip is the body index
+// to exclude (self-interaction), or -1 to include everything.
+func (t *tree) forceNode(n *node, pos Vec, skip int, theta float64, fa *forceAcc) {
+	if n == nil || n.count == 0 {
+		return
+	}
+	if n.leaf {
+		for _, bi := range n.bodyIdx {
+			if bi == skip {
+				continue
+			}
+			accumulate(&fa.acc, pos, Interactor{t.bodies[bi].Pos, t.bodies[bi].Mass})
+			fa.work++
+		}
+		return
+	}
+	d := pos.Sub(n.com)
+	dist := math.Sqrt(d.X*d.X + d.Y*d.Y + d.Z*d.Z)
+	if dist > 0 && 2*n.half/dist < theta {
+		accumulate(&fa.acc, pos, Interactor{n.com, n.mass})
+		fa.work++
+		return
+	}
+	for _, c := range n.children {
+		t.forceNode(c, pos, skip, theta, fa)
+	}
+}
+
 // forceLocal computes the force on body idx from the local tree with the
 // standard per-body theta traversal, skipping the body itself. It returns
 // the acceleration and the number of interactions evaluated.
 func (t *tree) forceLocal(idx int, theta float64) (Vec, int64) {
-	var acc Vec
-	var work int64
-	pos := t.bodies[idx].Pos
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil || n.count == 0 {
-			return
-		}
-		if n.leaf {
-			for _, bi := range n.bodyIdx {
-				if bi == idx {
-					continue
-				}
-				accumulate(&acc, pos, Interactor{t.bodies[bi].Pos, t.bodies[bi].Mass})
-				work++
-			}
-			return
-		}
-		d := pos.Sub(n.com)
-		dist := math.Sqrt(d.X*d.X + d.Y*d.Y + d.Z*d.Z)
-		if dist > 0 && 2*n.half/dist < theta {
-			accumulate(&acc, pos, Interactor{n.com, n.mass})
-			work++
-			return
-		}
-		for _, c := range n.children {
-			rec(c)
-		}
-	}
-	rec(t.root)
-	return acc, work
+	var fa forceAcc
+	t.forceNode(t.root, t.bodies[idx].Pos, idx, theta, &fa)
+	return fa.acc, fa.work
 }
 
 // export extracts the essential set of this tree for a destination block
@@ -266,33 +326,42 @@ func (t *tree) forceLocal(idx int, theta float64) (Vec, int64) {
 // (measured against the box), individual bodies otherwise. visited counts
 // traversed nodes for the cost model.
 func (t *tree) export(dest box, theta float64) (items []Interactor, visited int64) {
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil || n.count == 0 {
-			return
-		}
-		visited++
-		if n.leaf {
-			for _, bi := range n.bodyIdx {
-				items = append(items, Interactor{t.bodies[bi].Pos, t.bodies[bi].Mass})
-			}
-			return
-		}
-		nb := box{
-			min: n.center.Add(Vec{-n.half, -n.half, -n.half}),
-			max: n.center.Add(Vec{n.half, n.half, n.half}),
-		}
-		d := nb.gapTo(dest)
-		if d > 0 && 2*n.half/d < theta {
-			items = append(items, Interactor{n.com, n.mass})
-			return
-		}
-		for _, c := range n.children {
-			rec(c)
-		}
+	var ea exportAcc
+	t.exportNode(t.root, dest, theta, &ea)
+	return ea.items, ea.visited
+}
+
+// exportAcc collects an export traversal. The items slice is freshly grown
+// per call — it outlives the tree inside essential-set messages, so it
+// cannot come from reused scratch.
+type exportAcc struct {
+	items   []Interactor
+	visited int64
+}
+
+func (t *tree) exportNode(n *node, dest box, theta float64, ea *exportAcc) {
+	if n == nil || n.count == 0 {
+		return
 	}
-	rec(t.root)
-	return items, visited
+	ea.visited++
+	if n.leaf {
+		for _, bi := range n.bodyIdx {
+			ea.items = append(ea.items, Interactor{t.bodies[bi].Pos, t.bodies[bi].Mass})
+		}
+		return
+	}
+	nb := box{
+		min: n.center.Add(Vec{-n.half, -n.half, -n.half}),
+		max: n.center.Add(Vec{n.half, n.half, n.half}),
+	}
+	d := nb.gapTo(dest)
+	if d > 0 && 2*n.half/d < theta {
+		ea.items = append(ea.items, Interactor{n.com, n.mass})
+		return
+	}
+	for _, c := range n.children {
+		t.exportNode(c, dest, theta, ea)
+	}
 }
 
 // initialBodies generates a deterministic Plummer-like cloud.
@@ -315,44 +384,29 @@ func initialBodies(n int, seed int64) []Body {
 // stays logarithmic, as in Blackston and Suel's merged locally essential
 // trees.
 func buildInteractorTree(items []Interactor) *tree {
-	bodies := make([]Body, len(items))
-	for i, it := range items {
-		bodies[i] = Body{Pos: it.Pos, Mass: it.Mass}
+	t, _ := buildInteractorTreeIn(newArena(), nil, items)
+	return t
+}
+
+// buildInteractorTreeIn is buildInteractorTree with a recycled arena and
+// body scratch; it returns the (possibly regrown) scratch for the caller to
+// keep. The per-step loops use it so the steady state of the gather phase
+// allocates nothing.
+func buildInteractorTreeIn(a *arena, scratch []Body, items []Interactor) (*tree, []Body) {
+	bodies := scratch[:0]
+	for _, it := range items {
+		bodies = append(bodies, Body{Pos: it.Pos, Mass: it.Mass})
 	}
-	return buildTree(bodies)
+	return buildTreeIn(a, bodies), bodies
 }
 
 // forceAt computes the pull of the whole tree on an external position with
 // the theta criterion (no self-exclusion), returning the acceleration and
 // the number of interactions evaluated.
 func (t *tree) forceAt(pos Vec, theta float64) (Vec, int64) {
-	var acc Vec
-	var work int64
-	var rec func(n *node)
-	rec = func(n *node) {
-		if n == nil || n.count == 0 {
-			return
-		}
-		if n.leaf {
-			for _, bi := range n.bodyIdx {
-				accumulate(&acc, pos, Interactor{t.bodies[bi].Pos, t.bodies[bi].Mass})
-				work++
-			}
-			return
-		}
-		d := pos.Sub(n.com)
-		dist := math.Sqrt(d.X*d.X + d.Y*d.Y + d.Z*d.Z)
-		if dist > 0 && 2*n.half/dist < theta {
-			accumulate(&acc, pos, Interactor{n.com, n.mass})
-			work++
-			return
-		}
-		for _, c := range n.children {
-			rec(c)
-		}
-	}
-	rec(t.root)
-	return acc, work
+	var fa forceAcc
+	t.forceNode(t.root, pos, -1, theta, &fa)
+	return fa.acc, fa.work
 }
 
 // mortonKey interleaves 10 bits per dimension of the position quantized
@@ -384,12 +438,62 @@ func mortonKey(p Vec, bb box) uint32 {
 // spatialSort orders bodies along the Morton curve of their initial
 // positions, so that contiguous index blocks are spatially compact — the
 // property the essential-set aggregation depends on. Blackston and Suel
-// partition space similarly; a static sort suffices for short runs.
+// partition space similarly; a static sort suffices for short runs. Keys
+// are computed once per body (not once per comparison) and the sorter is a
+// concrete sort.Interface, avoiding the reflection of sort.SliceStable;
+// any stable sort under the same comparator yields the same permutation,
+// so the ordering is unchanged.
 func spatialSort(bodies []Body) {
 	bb := boundsOf(bodies)
-	sort.SliceStable(bodies, func(i, j int) bool {
-		return mortonKey(bodies[i].Pos, bb) < mortonKey(bodies[j].Pos, bb)
-	})
+	s := mortonSorter{keys: make([]uint32, len(bodies)), bodies: bodies}
+	for i := range bodies {
+		s.keys[i] = mortonKey(bodies[i].Pos, bb)
+	}
+	sort.Stable(s)
+}
+
+type mortonSorter struct {
+	keys   []uint32
+	bodies []Body
+}
+
+func (s mortonSorter) Len() int           { return len(s.keys) }
+func (s mortonSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s mortonSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.bodies[i], s.bodies[j] = s.bodies[j], s.bodies[i]
+}
+
+// bodyCache memoizes the Morton-sorted initial cloud per (n, seed): every
+// rank of every run in a sweep regenerates the identical set, and the RNG
+// plus the stable sort dominate setup at paper scale.
+var bodyCache struct {
+	sync.Mutex
+	sets map[[2]int64][]Body
+}
+
+// sortedBodies returns the deterministic initial body set, already
+// spatially sorted. The slice is pristine and shared read-only: callers
+// copy the block they integrate in place.
+func sortedBodies(n int, seed int64) []Body {
+	key := [2]int64{int64(n), seed}
+	bodyCache.Lock()
+	pristine, ok := bodyCache.sets[key]
+	bodyCache.Unlock()
+	if !ok {
+		pristine = initialBodies(n, seed)
+		spatialSort(pristine)
+		bodyCache.Lock()
+		if bodyCache.sets == nil {
+			bodyCache.sets = make(map[[2]int64][]Body)
+		}
+		if len(bodyCache.sets) > 16 {
+			clear(bodyCache.sets)
+		}
+		bodyCache.sets[key] = pristine
+		bodyCache.Unlock()
+	}
+	return pristine
 }
 
 // directForce is the O(n^2) reference for accuracy tests.

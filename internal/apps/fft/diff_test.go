@@ -1,0 +1,116 @@
+package fft
+
+// Differential tests pinning the table-driven transform kernels
+// bit-for-bit against the table-free forms they replaced. The references
+// here are the original in-loop computations; any change to the cached
+// tables that alters even the rounding of one twiddle factor fails these
+// tests before it can silently shift a golden value.
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveIterFFT is the pre-table kernel: identical bit-reversal and
+// butterfly order, with the twiddle recurrence evaluated inline per block.
+func naiveIterFFT(x []complex128) int64 {
+	n := len(x)
+	if n <= 1 {
+		return 0
+	}
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	var ops int64
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		half := length / 2
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+				ops++
+			}
+		}
+	}
+	return ops
+}
+
+// TestIterFFTBitIdenticalToNaive is a property test over random
+// power-of-two sizes: the table-driven kernel must reproduce the
+// table-free kernel bit for bit, including its op count.
+func TestIterFFTBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 << (1 + rng.Intn(12)) // 2 .. 4096
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		got := append([]complex128(nil), x...)
+		want := append([]complex128(nil), x...)
+		gotOps := iterFFT(got)
+		wantOps := naiveIterFFT(want)
+		if gotOps != wantOps {
+			t.Fatalf("n=%d: ops = %d, naive = %d", n, gotOps, wantOps)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d trial=%d: output[%d] = %v, naive = %v (bitwise)",
+					n, trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStageTwiddlesMatchRecurrence regenerates each stage table with the
+// inline recurrence and compares bitwise.
+func TestStageTwiddlesMatchRecurrence(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 256, 1024} {
+		tables := stageTwiddles(n)
+		s := 0
+		for length := 2; length <= n; length <<= 1 {
+			wl := cmplx.Exp(complex(0, -2*math.Pi/float64(length)))
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				if tables[s][j] != w {
+					t.Fatalf("n=%d stage=%d j=%d: table %v, recurrence %v", n, s, j, tables[s][j], w)
+				}
+				w *= wl
+			}
+			s++
+		}
+	}
+}
+
+// TestStep3TwiddlesMatchInline regenerates the inter-stage matrix with
+// the original in-loop expression — the exact association
+// (((-2pi)*gj)*ip)/n — and compares bitwise.
+func TestStep3TwiddlesMatchInline(t *testing.T) {
+	for _, side := range []int{4, 16, 64} {
+		n := side * side
+		mat := step3Twiddles(n, side)
+		for gj := 0; gj < side; gj++ {
+			for ip := 0; ip < side; ip++ {
+				want := cmplx.Exp(complex(0, -2*math.Pi*float64(gj)*float64(ip)/float64(n)))
+				if mat[gj*side+ip] != want {
+					t.Fatalf("side=%d gj=%d ip=%d: table %v, inline %v", side, gj, ip, mat[gj*side+ip], want)
+				}
+			}
+		}
+	}
+}

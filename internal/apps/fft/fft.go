@@ -177,12 +177,14 @@ func (f *FFT) run(e *par.Env) {
 		ops += iterFFT(mat[i])
 	}
 	e.ComputeUnits(ops, cfg.OpCost)
-	// Step 3: twiddle — element at global (j, i') gains w_n^{j*i'}.
+	// Step 3: twiddle — element at global (j, i') gains w_n^{j*i'}, from
+	// the memoized factor matrix.
+	tw := step3Twiddles(cfg.N, side)
 	for i := range mat {
-		gj := lo + i
-		for ip := 0; ip < side; ip++ {
-			ang := -2 * math.Pi * float64(gj) * float64(ip) / float64(cfg.N)
-			mat[i][ip] *= cmplx.Exp(complex(0, ang))
+		row := mat[i]
+		twRow := tw[(lo+i)*side : (lo+i+1)*side]
+		for ip := range row {
+			row[ip] *= twRow[ip]
 		}
 	}
 	e.ComputeUnits(int64(len(mat)*side), cfg.TwiddleCost)

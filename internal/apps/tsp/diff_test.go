@@ -1,0 +1,98 @@
+package tsp
+
+// Differential tests pinning the incremental-bound search against the
+// original form that recomputed the O(n) lower bound at every branch.
+// Every pruning decision — and with it the node count that drives the
+// virtual cost model — must be identical, not just the final tour length.
+
+import (
+	"testing"
+
+	"twolayer/internal/apps"
+)
+
+// naiveExpand is the original descent: same DFS order, with the bound
+// recomputed from scratch via lowerBound at every candidate edge.
+func naiveExpand(d [][]int32, minOut []int32, j job, cutoff int32) (best int32, nodes int64) {
+	n := len(d)
+	used := make([]bool, n)
+	for _, c := range j.path {
+		used[c] = true
+	}
+	path := append([]int8(nil), j.path...)
+	best = cutoff
+	var rec func(length int32)
+	rec = func(length int32) {
+		nodes++
+		cur := int(path[len(path)-1])
+		if len(path) == n {
+			if total := length + d[cur][0]; total < best {
+				best = total
+			}
+			return
+		}
+		for next := 1; next < n; next++ {
+			if used[next] {
+				continue
+			}
+			nl := length + d[cur][next]
+			if nl+lowerBound(minOut, used, next) >= best {
+				continue
+			}
+			used[next] = true
+			path = append(path, int8(next))
+			rec(nl)
+			path = path[:len(path)-1]
+			used[next] = false
+		}
+	}
+	rec(j.length)
+	return best, nodes
+}
+
+// TestExpandIdenticalToNaiveBound runs both searches over every job of
+// several instances, including the Paper-scale one, comparing tour length
+// and node count per job.
+func TestExpandIdenticalToNaiveBound(t *testing.T) {
+	configs := []Config{
+		ConfigFor(apps.Tiny),
+		ConfigFor(apps.Small),
+		ConfigFor(apps.Paper),
+		{N: 9, JobDepth: 3, Seed: 123},
+		{N: 11, JobDepth: 2, Seed: 77},
+	}
+	for _, cfg := range configs {
+		d := cities(cfg.N, cfg.Seed)
+		minOut := minOutEdges(d)
+		cutoff := nearestNeighborBound(d)
+		jobs := generateJobs(d, minOut, cfg.JobDepth, cutoff)
+		scratch := newScratch(cfg.N)
+		for ji, j := range jobs {
+			gotBest, gotNodes := expandWith(scratch, d, minOut, j, cutoff)
+			wantBest, wantNodes := naiveExpand(d, minOut, j, cutoff)
+			if gotBest != wantBest || gotNodes != wantNodes {
+				t.Fatalf("n=%d job %d: incremental (%d, %d nodes) != naive (%d, %d nodes)",
+					cfg.N, ji, gotBest, gotNodes, wantBest, wantNodes)
+			}
+		}
+	}
+}
+
+// TestRemainderBoundMatchesLowerBound checks the algebraic identity the
+// incremental search rests on: for any unvisited cur, the maintained
+// remainder equals the naive lowerBound.
+func TestRemainderBoundMatchesLowerBound(t *testing.T) {
+	d := cities(10, 3)
+	minOut := minOutEdges(d)
+	used := make([]bool, 10)
+	used[0], used[3], used[7] = true, true, true
+	rem := remainderBound(minOut, used)
+	for cur := range used {
+		if used[cur] {
+			continue
+		}
+		if lb := lowerBound(minOut, used, cur); lb != rem {
+			t.Fatalf("cur=%d: lowerBound %d != remainder %d", cur, lb, rem)
+		}
+	}
+}

@@ -84,6 +84,10 @@ func generateJobs(d [][]int32, minOut []int32, depth int, cutoff int32) []job {
 	path[0] = 0
 	used := make([]bool, n)
 	used[0] = true
+	// rem is the incremental form of lowerBound: the sum of minOut over
+	// cities not yet on the path (see expand for the exact-equality
+	// argument).
+	rem := remainderBound(minOut, used)
 	var rec func(length int32)
 	rec = func(length int32) {
 		if len(path) == depth {
@@ -96,13 +100,15 @@ func generateJobs(d [][]int32, minOut []int32, depth int, cutoff int32) []job {
 				continue
 			}
 			nl := length + d[cur][next]
-			if nl+lowerBound(minOut, used, int(next)) >= cutoff {
+			if nl+rem >= cutoff {
 				continue
 			}
 			used[next] = true
+			rem -= minOut[next]
 			path = append(path, int8(next))
 			rec(nl)
 			path = path[:len(path)-1]
+			rem += minOut[next]
 			used[next] = false
 		}
 	}
@@ -110,10 +116,27 @@ func generateJobs(d [][]int32, minOut []int32, depth int, cutoff int32) []job {
 	return jobs
 }
 
+// remainderBound sums minOut over the cities not yet visited: the value
+// lowerBound(minOut, used, next) takes for any unvisited next, computed
+// once so the search can maintain it in O(1) per move.
+func remainderBound(minOut []int32, used []bool) int32 {
+	var rem int32
+	for c, u := range used {
+		if !u {
+			rem += minOut[c]
+		}
+	}
+	return rem
+}
+
 // lowerBound sums the cheapest outgoing edge of every city the remaining
 // tour must still leave: the current city plus every unvisited city other
 // than cur (cur may not be marked used yet by the caller). Admissible
-// because every completion leaves each of those cities exactly once.
+// because every completion leaves each of those cities exactly once. The
+// search itself maintains this value incrementally (for an unvisited cur
+// it equals the sum of minOut over all unvisited cities, since minOut[cur]
+// is counted either way); this O(n) form remains as the specification the
+// differential tests pin the incremental bound against.
 func lowerBound(minOut []int32, used []bool, cur int) int32 {
 	lb := minOut[cur]
 	for c, u := range used {
@@ -124,16 +147,42 @@ func lowerBound(minOut []int32, used []bool, cur int) int32 {
 	return lb
 }
 
+// searchScratch holds the per-worker state of a branch-and-bound descent,
+// reused across jobs so the steady state of a run allocates nothing.
+type searchScratch struct {
+	used []bool
+	path []int8
+}
+
+// newScratch sizes a scratch for n cities.
+func newScratch(n int) *searchScratch {
+	return &searchScratch{used: make([]bool, n), path: make([]int8, 0, n)}
+}
+
 // expand runs depth-first branch and bound from a partial tour, returning
 // the best complete tour length below cutoff (or cutoff if none) and the
 // number of search nodes visited (the unit of the virtual cost model).
+// It allocates fresh scratch; workers in a run use expandWith.
 func expand(d [][]int32, minOut []int32, j job, cutoff int32) (best int32, nodes int64) {
+	return expandWith(newScratch(len(d)), d, minOut, j, cutoff)
+}
+
+// expandWith is expand with caller-owned scratch. The cutoff test uses the
+// incrementally maintained remainder bound; all quantities are int32 sums
+// of the same terms the O(n) lowerBound adds, so every pruning decision —
+// and with it the node count that drives the virtual cost model — is
+// bit-identical to the naive form.
+func expandWith(s *searchScratch, d [][]int32, minOut []int32, j job, cutoff int32) (best int32, nodes int64) {
 	n := len(d)
-	used := make([]bool, n)
+	used := s.used[:n]
+	for i := range used {
+		used[i] = false
+	}
 	for _, c := range j.path {
 		used[c] = true
 	}
-	path := append([]int8(nil), j.path...)
+	path := append(s.path[:0], j.path...)
+	rem := remainderBound(minOut, used)
 	best = cutoff
 	var rec func(length int32)
 	rec = func(length int32) {
@@ -145,22 +194,26 @@ func expand(d [][]int32, minOut []int32, j job, cutoff int32) (best int32, nodes
 			}
 			return
 		}
+		row := d[cur]
 		for next := 1; next < n; next++ {
 			if used[next] {
 				continue
 			}
-			nl := length + d[cur][int(next)]
-			if nl+lowerBound(minOut, used, next) >= best {
+			nl := length + row[next]
+			if nl+rem >= best {
 				continue
 			}
 			used[next] = true
+			rem -= minOut[next]
 			path = append(path, int8(next))
 			rec(nl)
 			path = path[:len(path)-1]
+			rem += minOut[next]
 			used[next] = false
 		}
 	}
 	rec(j.length)
+	s.path = path[:0]
 	return best, nodes
 }
 
@@ -170,8 +223,9 @@ func sequentialSolve(d [][]int32, depth int) (best int32, nodes int64) {
 	minOut := minOutEdges(d)
 	cutoff := nearestNeighborBound(d)
 	best = cutoff
+	scratch := newScratch(len(d))
 	for _, j := range generateJobs(d, minOut, depth, cutoff) {
-		b, n := expand(d, minOut, j, cutoff)
+		b, n := expandWith(scratch, d, minOut, j, cutoff)
 		nodes += n
 		if b < best {
 			best = b

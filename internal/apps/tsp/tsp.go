@@ -141,11 +141,12 @@ func (t *TSP) run(e *par.Env, optimized bool) {
 		// each server expands its own share locally.
 		all := generateJobs(d, minOut, t.cfg.JobDepth, cutoff)
 		best := cutoff
+		scratch := newScratch(len(d))
 		for i, j := range all {
 			if i%len(servers) != serverIdx {
 				continue
 			}
-			b, nodes := expand(d, minOut, j, cutoff)
+			b, nodes := expandWith(scratch, d, minOut, j, cutoff)
 			e.ComputeUnits(nodes, t.cfg.NodeCost)
 			if b < best {
 				best = b
@@ -360,13 +361,14 @@ func isIn(s []int, v int) bool {
 func (t *TSP) runWorker(e *par.Env, d [][]int32, minOut []int32, cutoff int32, servers []int, optimized bool) {
 	best := cutoff
 	q := myServer(e, optimized)
+	scratch := newScratch(len(d))
 	for {
 		m := e.Call(q, tagGet, nil, 32)
 		rep := m.Data.(getReply)
 		if !rep.ok {
 			break
 		}
-		b, nodes := expand(d, minOut, rep.job, cutoff)
+		b, nodes := expandWith(scratch, d, minOut, rep.job, cutoff)
 		e.ComputeUnits(nodes, t.cfg.NodeCost)
 		if b < best {
 			best = b

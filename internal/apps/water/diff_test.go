@@ -1,0 +1,106 @@
+package water
+
+// Differential tests pinning the batched force kernels bit-for-bit
+// against the unbatched pairForce loops they replaced. pairForce is the
+// specification; forceHalf and forceCross may only remove redundant loads
+// and stores, never change a float.
+
+import (
+	"math/rand"
+	"testing"
+
+	"twolayer/internal/apps"
+)
+
+func randomVecs(rng *rand.Rand, n int) []Vec3 {
+	out := make([]Vec3, n)
+	for i := range out {
+		out[i] = Vec3{rng.Float64()*4 - 2, rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+	}
+	return out
+}
+
+// naiveForceHalf is the original half-shell loop.
+func naiveForceHalf(pos, force []Vec3) {
+	for a := range pos {
+		for b := a + 1; b < len(pos); b++ {
+			f := pairForce(pos[a], pos[b])
+			force[a] = force[a].Add(f)
+			force[b] = force[b].Sub(f)
+		}
+	}
+}
+
+// naiveForceCross is the original cross-block loop.
+func naiveForceCross(myPos, jb, myForce, contrib []Vec3) {
+	for a := range myPos {
+		for b := range jb {
+			f := pairForce(myPos[a], jb[b])
+			myForce[a] = myForce[a].Add(f)
+			contrib[b] = contrib[b].Sub(f)
+		}
+	}
+}
+
+func TestForceHalfBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(60)
+		pos := randomVecs(rng, n)
+		// Non-zero starting accumulators: the kernel must fold into
+		// whatever cross-block contributions already landed.
+		init := randomVecs(rng, n)
+		got := append([]Vec3(nil), init...)
+		want := append([]Vec3(nil), init...)
+		forceHalf(pos, got)
+		naiveForceHalf(pos, want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: force[%d] = %+v, naive = %+v (bitwise)", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForceCrossBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		na, nb := 1+rng.Intn(40), 1+rng.Intn(40)
+		myPos := randomVecs(rng, na)
+		jb := randomVecs(rng, nb)
+		initA := randomVecs(rng, na)
+		initB := randomVecs(rng, nb)
+		gotA := append([]Vec3(nil), initA...)
+		gotB := append([]Vec3(nil), initB...)
+		wantA := append([]Vec3(nil), initA...)
+		wantB := append([]Vec3(nil), initB...)
+		forceCross(myPos, jb, gotA, gotB)
+		naiveForceCross(myPos, jb, wantA, wantB)
+		for i := range gotA {
+			if gotA[i] != wantA[i] {
+				t.Fatalf("myForce[%d] = %+v, naive = %+v (bitwise)", i, gotA[i], wantA[i])
+			}
+		}
+		for i := range gotB {
+			if gotB[i] != wantB[i] {
+				t.Fatalf("contrib[%d] = %+v, naive = %+v (bitwise)", i, gotB[i], wantB[i])
+			}
+		}
+	}
+}
+
+// TestInitialStateSharedIsPristine snapshots the memoized initial
+// conditions, runs the sequential integrator (which must copy, not
+// mutate), and checks the shared slices are untouched.
+func TestInitialStateSharedIsPristine(t *testing.T) {
+	cfg := ConfigFor(apps.Small)
+	pos, vel := initialState(cfg.N, cfg.Seed)
+	posSnap := append([]Vec3(nil), pos...)
+	velSnap := append([]Vec3(nil), vel...)
+	sequentialRun(cfg.N, cfg.Iters, cfg.Seed, cfg.DT)
+	for i := range pos {
+		if pos[i] != posSnap[i] || vel[i] != velSnap[i] {
+			t.Fatalf("shared initial state mutated at %d", i)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package water
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // Vec3 is a 3-component vector.
 type Vec3 struct{ X, Y, Z float64 }
@@ -21,7 +24,9 @@ func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
 // molecule i. The softening keeps the toy dynamics stable at any timestep,
 // which matters more here than physical fidelity: the simulation is the
 // workload, the verification target is bit-level agreement with the
-// sequential reference.
+// sequential reference. The batched kernels below (forceHalf, forceCross)
+// inline exactly this arithmetic; pairForce remains the specification the
+// differential tests pin them against.
 func pairForce(pi, pj Vec3) Vec3 {
 	d := pi.Sub(pj)
 	r2 := d.Dot(d) + 0.5 // softening
@@ -29,9 +34,81 @@ func pairForce(pi, pj Vec3) Vec3 {
 	return d.Scale(inv - 0.02/r2)
 }
 
-// initialState generates deterministic positions and velocities for n
-// molecules in a box.
+// forceHalf accumulates the half-shell pairwise forces within one block:
+// for every a < b it adds pairForce(pos[a], pos[b]) into force[a] and
+// subtracts it from force[b]. Each component expression has the same shape
+// and association as pairForce plus Add/Sub, and the row accumulator fa is
+// loaded after all earlier rows' subtractions have landed, so every float
+// is bit-identical to the unbatched loop — the kernel only removes the
+// redundant force[a] loads and stores from the inner loop.
+func forceHalf(pos, force []Vec3) {
+	n := len(pos)
+	for a := 0; a < n; a++ {
+		pa := pos[a]
+		fax, fay, faz := force[a].X, force[a].Y, force[a].Z
+		for b := a + 1; b < n; b++ {
+			pb := &pos[b]
+			dx, dy, dz := pa.X-pb.X, pa.Y-pb.Y, pa.Z-pb.Z
+			r2 := dx*dx + dy*dy + dz*dz + 0.5
+			s := 1/(r2*r2) - 0.02/r2
+			fx, fy, fz := dx*s, dy*s, dz*s
+			fax += fx
+			fay += fy
+			faz += fz
+			fb := &force[b]
+			fb.X -= fx
+			fb.Y -= fy
+			fb.Z -= fz
+		}
+		force[a] = Vec3{fax, fay, faz}
+	}
+}
+
+// forceCross accumulates the forces between a local block and a remote
+// one: pairForce(myPos[a], jb[b]) is added into myForce[a] and subtracted
+// from contrib[b], in the same (a, b) order and with the same expression
+// shapes as the unbatched loop, so results are bit-identical.
+func forceCross(myPos, jb, myForce, contrib []Vec3) {
+	for a := range myPos {
+		pa := myPos[a]
+		fax, fay, faz := myForce[a].X, myForce[a].Y, myForce[a].Z
+		for b := range jb {
+			pb := &jb[b]
+			dx, dy, dz := pa.X-pb.X, pa.Y-pb.Y, pa.Z-pb.Z
+			r2 := dx*dx + dy*dy + dz*dz + 0.5
+			s := 1/(r2*r2) - 0.02/r2
+			fx, fy, fz := dx*s, dy*s, dz*s
+			fax += fx
+			fay += fy
+			faz += fz
+			cb := &contrib[b]
+			cb.X -= fx
+			cb.Y -= fy
+			cb.Z -= fz
+		}
+		myForce[a] = Vec3{fax, fay, faz}
+	}
+}
+
+// stateCache memoizes pristine initial conditions per (n, seed): every
+// rank of every run in a sweep draws the identical sequence. Entries are
+// shared read-only; initialState hands them out and callers copy what they
+// integrate in place.
+var stateCache struct {
+	sync.Mutex
+	states map[[2]int64][2][]Vec3
+}
+
+// initialState returns deterministic positions and velocities for n
+// molecules in a box. The slices are shared and must not be mutated.
 func initialState(n int, seed int64) (pos, vel []Vec3) {
+	key := [2]int64{int64(n), seed}
+	stateCache.Lock()
+	cached, ok := stateCache.states[key]
+	stateCache.Unlock()
+	if ok {
+		return cached[0], cached[1]
+	}
 	rng := rand.New(rand.NewSource(seed))
 	pos = make([]Vec3, n)
 	vel = make([]Vec3, n)
@@ -39,26 +116,31 @@ func initialState(n int, seed int64) (pos, vel []Vec3) {
 		pos[i] = Vec3{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
 		vel[i] = Vec3{rng.Float64() - 0.5, rng.Float64() - 0.5, rng.Float64() - 0.5}
 	}
-	return
+	stateCache.Lock()
+	if stateCache.states == nil {
+		stateCache.states = make(map[[2]int64][2][]Vec3)
+	}
+	if len(stateCache.states) > 16 {
+		clear(stateCache.states)
+	}
+	stateCache.states[key] = [2][]Vec3{pos, vel}
+	stateCache.Unlock()
+	return pos, vel
 }
 
 // sequentialRun advances the reference simulation: full O(n^2) forces per
 // iteration, explicit Euler integration. The parallel code must reproduce
 // these positions up to floating-point summation order.
 func sequentialRun(n, iters int, seed int64, dt float64) []Vec3 {
-	pos, vel := initialState(n, seed)
+	p0, v0 := initialState(n, seed)
+	pos := append([]Vec3(nil), p0...)
+	vel := append([]Vec3(nil), v0...)
 	force := make([]Vec3, n)
 	for it := 0; it < iters; it++ {
 		for i := range force {
 			force[i] = Vec3{}
 		}
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				f := pairForce(pos[i], pos[j])
-				force[i] = force[i].Add(f)
-				force[j] = force[j].Sub(f)
-			}
-		}
+		forceHalf(pos, force)
 		for i := 0; i < n; i++ {
 			vel[i] = vel[i].Add(force[i].Scale(dt))
 			pos[i] = pos[i].Add(vel[i].Scale(dt))

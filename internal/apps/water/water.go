@@ -193,7 +193,9 @@ func (w *Water) run(e *par.Env, optimized bool) {
 	lo, hi := w.blockOf(r)
 	nOwn := hi - lo
 
-	pos, vel := initialState(cfg.N, cfg.Seed) // deterministic, zero virtual cost
+	// Deterministic, zero-virtual-cost setup; the memoized state is shared
+	// read-only, so only this rank's block is copied.
+	pos, vel := initialState(cfg.N, cfg.Seed)
 	myPos := append([]Vec3(nil), pos[lo:hi]...)
 	myVel := append([]Vec3(nil), vel[lo:hi]...)
 
@@ -299,24 +301,12 @@ func (w *Water) run(e *par.Env, optimized bool) {
 		// ---- Compute forces. ----
 		myForce := make([]Vec3, nOwn)
 		pairs := int64(nOwn * (nOwn - 1) / 2)
-		for a := 0; a < nOwn; a++ {
-			for b := a + 1; b < nOwn; b++ {
-				f := pairForce(myPos[a], myPos[b])
-				myForce[a] = myForce[a].Add(f)
-				myForce[b] = myForce[b].Sub(f)
-			}
-		}
+		forceHalf(myPos, myForce)
 		contribs := make(map[int][]Vec3, len(targets))
 		for _, j := range targets {
 			jb := theirPos[j]
 			cj := make([]Vec3, len(jb))
-			for a := 0; a < nOwn; a++ {
-				for b := range jb {
-					f := pairForce(myPos[a], jb[b])
-					myForce[a] = myForce[a].Add(f)
-					cj[b] = cj[b].Sub(f)
-				}
-			}
+			forceCross(myPos, jb, myForce, cj)
 			contribs[j] = cj
 			pairs += int64(nOwn * len(jb))
 		}

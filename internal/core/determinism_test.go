@@ -9,43 +9,17 @@ import (
 	"twolayer/internal/topology"
 )
 
-// goldenRun pins the exact observable outcome of one Tiny-scale run on the
-// DAS shape at the 3.3 ms / 0.95 MB/s wide-area setting. The values were
-// captured from the original heap-scheduler, goroutine-handoff kernel; the
-// ladder queue, coroutine processes, deferred ready dispatch, and every
-// cache introduced since must reproduce them bit for bit. Any change here
-// is a determinism regression, not a tolerance issue.
-type goldenRun struct {
-	app       string
-	optimized bool
-	elapsed   sim.Time
-	events    uint64
-	wanMsgs   int64
-	wanBytes  int64
-}
+// The golden table itself lives in golden.go (exported, so the persistent
+// run cache can fingerprint it); these tests enforce it.
 
-var goldenRuns = []goldenRun{
-	{"Water", false, 124112380, 6112, 2304, 208512},
-	{"Water", true, 18148456, 5076, 248, 29824},
-	{"Barnes-Hut", false, 118358410, 8968, 3108, 263544},
-	{"Barnes-Hut", true, 29838992, 8224, 1728, 198456},
-	{"TSP", false, 10833986, 253, 72, 1920},
-	{"TSP", true, 13815532, 313, 60, 1344},
-	{"ASP", false, 291657808, 4732, 536, 105088},
-	{"ASP", true, 27694596, 4726, 147, 32304},
-	{"Awari", false, 348847389, 48764, 17802, 287370},
-	{"Awari", true, 202126821, 19140, 2346, 40074},
-	{"FFT", false, 15966836, 6032, 2304, 82944},
-}
-
-func goldenExperiment(t *testing.T, g goldenRun) Experiment {
+func goldenExperiment(t *testing.T, g GoldenRun) Experiment {
 	t.Helper()
-	app, err := AppByName(g.app)
+	app, err := AppByName(g.App)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return Experiment{
-		App: app, Scale: apps.Tiny, Optimized: g.optimized,
+		App: app, Scale: apps.Tiny, Optimized: g.Optimized,
 		Topo:   topology.DAS(),
 		Params: network.DefaultParams().WithWAN(3300*sim.Microsecond, 0.95e6),
 	}
@@ -54,11 +28,11 @@ func goldenExperiment(t *testing.T, g goldenRun) Experiment {
 // TestGoldenDeterminism compares every application variant against the
 // captured pre-rewrite values.
 func TestGoldenDeterminism(t *testing.T) {
-	for _, g := range goldenRuns {
+	for _, g := range GoldenRuns {
 		g := g
-		name := g.app + "/unopt"
-		if g.optimized {
-			name = g.app + "/opt"
+		name := g.App + "/unopt"
+		if g.Optimized {
+			name = g.App + "/opt"
 		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -66,17 +40,51 @@ func TestGoldenDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if res.Elapsed != g.elapsed {
-				t.Errorf("Elapsed = %d, golden %d", res.Elapsed, g.elapsed)
+			if res.Elapsed != g.Elapsed {
+				t.Errorf("Elapsed = %d, golden %d", res.Elapsed, g.Elapsed)
 			}
-			if res.Events != g.events {
-				t.Errorf("Events = %d, golden %d", res.Events, g.events)
+			if res.Events != g.Events {
+				t.Errorf("Events = %d, golden %d", res.Events, g.Events)
 			}
-			if res.WAN.Messages != g.wanMsgs {
-				t.Errorf("WAN.Messages = %d, golden %d", res.WAN.Messages, g.wanMsgs)
+			if res.WAN.Messages != g.WANMsgs {
+				t.Errorf("WAN.Messages = %d, golden %d", res.WAN.Messages, g.WANMsgs)
 			}
-			if res.WAN.Bytes != g.wanBytes {
-				t.Errorf("WAN.Bytes = %d, golden %d", res.WAN.Bytes, g.wanBytes)
+			if res.WAN.Bytes != g.WANBytes {
+				t.Errorf("WAN.Bytes = %d, golden %d", res.WAN.Bytes, g.WANBytes)
+			}
+		})
+	}
+}
+
+// TestSmallScaleRepeatable is the Small-scale half of the repeatability
+// contract: larger matrices, more iterations, and different message sizes
+// than the Tiny goldens, so kernel rewrites that only break at size show
+// up here. CI runs it (and the Tiny goldens) under -race.
+func TestSmallScaleRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Small-scale repeatability is slow; run without -short")
+	}
+	for _, g := range GoldenRuns {
+		g := g
+		name := g.App + "/unopt"
+		if g.Optimized {
+			name = g.App + "/opt"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			x := goldenExperiment(t, g)
+			x.Scale = apps.Small
+			a, err := x.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := x.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Elapsed != b.Elapsed || a.Events != b.Events || a.WAN != b.WAN {
+				t.Errorf("two Small runs differ: (%d ns, %d ev, %+v) vs (%d ns, %d ev, %+v)",
+					a.Elapsed, a.Events, a.WAN, b.Elapsed, b.Events, b.WAN)
 			}
 		})
 	}
@@ -87,11 +95,11 @@ func TestGoldenDeterminism(t *testing.T) {
 // test pins the values, this one would catch e.g. map-iteration or
 // scheduling nondeterminism even after an intentional golden update).
 func TestRunTwiceIdentical(t *testing.T) {
-	for _, g := range goldenRuns {
+	for _, g := range GoldenRuns {
 		g := g
-		name := g.app + "/unopt"
-		if g.optimized {
-			name = g.app + "/opt"
+		name := g.App + "/unopt"
+		if g.Optimized {
+			name = g.App + "/opt"
 		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+func diskTestExperiment(t *testing.T) Experiment {
+	t.Helper()
+	app, err := AppByName("TSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Experiment{
+		App: app, Scale: apps.Tiny, Optimized: false,
+		Topo:   topology.DAS(),
+		Params: network.DefaultParams().WithWAN(3300*sim.Microsecond, 0.95e6),
+	}
+}
+
+// TestDiskCachePersistsAcrossCaches is the headline property: a fresh
+// cache instance (standing in for a new process) replays a previous
+// instance's run from disk, bit-identically and without simulating.
+func TestDiskCachePersistsAcrossCaches(t *testing.T) {
+	dir := t.TempDir()
+	x := diskTestExperiment(t)
+
+	warm := NewRunCache()
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	first, err := x.RunCached(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.CacheStats(); s.Misses != 1 || s.DiskHits != 0 {
+		t.Fatalf("cold run stats = %+v; want 1 miss, 0 disk hits", s)
+	}
+
+	cold := NewRunCache()
+	if err := cold.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	second, err := x.RunCached(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.CacheStats(); s.DiskHits != 1 || s.Misses != 0 || s.Stale != 0 {
+		t.Fatalf("warm run stats = %+v; want 1 disk hit, 0 misses, 0 stale", s)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("disk replay differs from simulation:\n got %+v\nwant %+v", second, first)
+	}
+}
+
+// TestDiskCacheCorruptEntryRecovers truncates the entry on disk and checks
+// the cache counts it stale, re-simulates, and heals the file.
+func TestDiskCacheCorruptEntryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	x := diskTestExperiment(t)
+
+	warm := NewRunCache()
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := x.RunCached(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(dir, x.Key())
+	if err := os.WriteFile(path, []byte("{ truncated garba"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	hurt := NewRunCache()
+	if err := hurt.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := x.RunCached(hurt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := hurt.CacheStats(); s.Stale != 1 || s.Misses != 1 {
+		t.Fatalf("corrupt-entry stats = %+v; want 1 stale, 1 miss", s)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recomputed result differs from original")
+	}
+
+	healed := NewRunCache()
+	if err := healed.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.RunCached(healed); err != nil {
+		t.Fatal(err)
+	}
+	if s := healed.CacheStats(); s.DiskHits != 1 || s.Stale != 0 {
+		t.Fatalf("post-heal stats = %+v; want 1 disk hit, 0 stale", s)
+	}
+}
+
+// TestDiskCacheFingerprintInvalidates rewrites the stored entry under a
+// foreign fingerprint — the shape of an entry written by a build with a
+// different golden table — and checks it is rejected and overwritten.
+func TestDiskCacheFingerprintInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	x := diskTestExperiment(t)
+
+	warm := NewRunCache()
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.RunCached(warm); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(dir, x.Key())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Fingerprint = "0123456789abcdef0123456789abcdef"
+	forged, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	next := NewRunCache()
+	if err := next.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.RunCached(next); err != nil {
+		t.Fatal(err)
+	}
+	if s := next.CacheStats(); s.Stale != 1 || s.Misses != 1 || s.DiskHits != 0 {
+		t.Fatalf("foreign-fingerprint stats = %+v; want 1 stale, 1 miss, 0 disk hits", s)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fingerprint != Fingerprint() {
+		t.Errorf("entry not overwritten with current fingerprint")
+	}
+}
+
+// TestDiskCacheKeyCollision stores a different key's entry under this
+// key's filename; the stored-key comparison must reject it.
+func TestDiskCacheKeyCollision(t *testing.T) {
+	dir := t.TempDir()
+	x := diskTestExperiment(t)
+	key := x.Key()
+	other := key
+	other.Seed = key.Seed + 1
+	storeDisk(dir, key, par.Result{Elapsed: 42})
+	// Forge: same file now claims to hold `other`.
+	data, err := os.ReadFile(entryPath(dir, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Key = other
+	forged, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryPath(dir, key), forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, stale := loadDisk(dir, key); ok || !stale {
+		t.Errorf("colliding entry: ok=%v stale=%v; want rejected as stale", ok, stale)
+	}
+}
+
+// TestDiskCacheFailOpen points the cache at an unusable directory path and
+// checks lookups degrade to plain simulation instead of erroring.
+func TestDiskCacheFailOpen(t *testing.T) {
+	x := diskTestExperiment(t)
+	c := NewRunCache()
+	// A file (not a directory) as the cache root: reads and writes fail.
+	f := t.TempDir() + "/flat"
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDir(f); err == nil {
+		// Some platforms let MkdirAll succeed oddly; either way the run
+		// must still work.
+		t.Log("SetDir on a file unexpectedly succeeded; continuing")
+	}
+	c2 := NewRunCache()
+	c2.mu.Lock()
+	c2.dir = f // force an unusable root past SetDir's validation
+	c2.mu.Unlock()
+	res, err := x.RunCached(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed == 0 {
+		t.Error("fail-open run returned a zero result")
+	}
+}

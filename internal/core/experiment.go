@@ -168,9 +168,14 @@ func CommTimePercent(singleCluster, multiCluster sim.Time) float64 {
 	return v
 }
 
-// parallelism bounds concurrent simulations in sweeps.
+// parallelism bounds concurrent simulations in sweeps. All cores are used:
+// the coordinating goroutine only blocks on the worker pool, so reserving
+// a core for it — which on the common 2-core CI box meant a single worker
+// and a core sitting idle through every sweep — just wastes half the
+// machine. Results are collected into per-index slots, so the worker count
+// never affects output.
 func parallelism() int {
-	n := runtime.NumCPU() - 1
+	n := runtime.NumCPU()
 	if n < 1 {
 		n = 1
 	}

@@ -1,0 +1,38 @@
+package core
+
+import "twolayer/internal/sim"
+
+// GoldenRun pins the exact observable outcome of one Tiny-scale run on the
+// DAS shape at the 3.3 ms / 0.95 MB/s wide-area setting. The values were
+// captured from the original heap-scheduler, goroutine-handoff kernel; the
+// ladder queue, coroutine processes, deferred ready dispatch, and every
+// kernel rewrite or cache introduced since must reproduce them bit for
+// bit. Any change here is a determinism regression, not a tolerance issue.
+//
+// The table is exported (rather than living in the test file) because the
+// persistent run cache folds a hash of it into its code fingerprint: an
+// intentional golden update — the only sanctioned way simulation outputs
+// change — automatically invalidates every on-disk result.
+type GoldenRun struct {
+	App       string
+	Optimized bool
+	Elapsed   sim.Time
+	Events    uint64
+	WANMsgs   int64
+	WANBytes  int64
+}
+
+// GoldenRuns lists every application variant's pinned outcome.
+var GoldenRuns = []GoldenRun{
+	{"Water", false, 124112380, 6112, 2304, 208512},
+	{"Water", true, 18148456, 5076, 248, 29824},
+	{"Barnes-Hut", false, 118358410, 8968, 3108, 263544},
+	{"Barnes-Hut", true, 29838992, 8224, 1728, 198456},
+	{"TSP", false, 10833986, 253, 72, 1920},
+	{"TSP", true, 13815532, 313, 60, 1344},
+	{"ASP", false, 291657808, 4732, 536, 105088},
+	{"ASP", true, 27694596, 4726, 147, 32304},
+	{"Awari", false, 348847389, 48764, 17802, 287370},
+	{"Awari", true, 202126821, 19140, 2346, 40074},
+	{"FFT", false, 15966836, 6032, 2304, 82944},
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -40,11 +41,19 @@ type runEntry struct {
 // duplicate simulations rather than shaving per-event costs. It is safe
 // for concurrent use, and concurrent requests for the same key run the
 // simulation only once (the duplicates wait and share).
+//
+// With SetDir, the cache gains a persistent content-addressed layer (see
+// diskcache.go): in-memory misses consult the directory before
+// simulating, and fresh results are written back, so a rerun in a new
+// process replays finished work from disk.
 type RunCache struct {
 	mu      sync.Mutex
 	entries map[RunKey]*runEntry
+	dir     string // persistent layer root; "" = memory only
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	disk    atomic.Uint64
+	stale   atomic.Uint64
 }
 
 // NewRunCache returns an empty cache.
@@ -62,6 +71,51 @@ func (c *RunCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// CacheStats is a snapshot of the cache's effectiveness counters.
+type CacheStats struct {
+	// Hits were served from memory (including waits on in-flight runs).
+	Hits uint64
+	// DiskHits were replayed from the persistent layer.
+	DiskHits uint64
+	// Misses ran a real simulation.
+	Misses uint64
+	// Stale counts on-disk entries that existed but were unusable (corrupt
+	// body, foreign code fingerprint, or filename collision); each was
+	// recomputed and overwritten.
+	Stale uint64
+}
+
+// CacheStats returns all counters at once.
+func (c *RunCache) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		DiskHits: c.disk.Load(),
+		Misses:   c.misses.Load(),
+		Stale:    c.stale.Load(),
+	}
+}
+
+// SetDir attaches (or with "" detaches) the persistent layer, creating the
+// directory if needed.
+func (c *RunCache) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.dir = dir
+	c.mu.Unlock()
+	return nil
+}
+
+// Dir returns the persistent layer root, "" if memory-only.
+func (c *RunCache) Dir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir
+}
+
 // Len returns the number of memoized results.
 func (c *RunCache) Len() int {
 	c.mu.Lock()
@@ -69,14 +123,17 @@ func (c *RunCache) Len() int {
 	return len(c.entries)
 }
 
-// Reset drops all memoized results and zeroes the counters. Outstanding
-// waiters on in-flight entries are unaffected.
+// Reset drops all in-memory results and zeroes the counters; the
+// persistent layer (and its attachment) is untouched. Outstanding waiters
+// on in-flight entries are unaffected.
 func (c *RunCache) Reset() {
 	c.mu.Lock()
 	c.entries = make(map[RunKey]*runEntry)
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.disk.Store(0)
+	c.stale.Store(0)
 }
 
 // cloneResult gives each caller private slices so one consumer mutating a
@@ -116,10 +173,12 @@ func (x Experiment) Key() RunKey {
 }
 
 // RunCached executes the experiment through the cache: a repeated
-// configuration returns the memoized result without simulating. Errors are
-// memoized too — a configuration that deadlocks will keep reporting it
-// rather than re-deadlocking per lookup. Experiments the key cannot
-// describe (Verify, Configure, Trace) fall through to a plain Run.
+// configuration returns the memoized result without simulating, from
+// memory first and then (when a directory is attached) from disk. Errors
+// are memoized in memory only — a configuration that deadlocks will keep
+// reporting it rather than re-deadlocking per lookup, but never poisons
+// the persistent layer. Experiments the key cannot describe (Verify,
+// Configure, Trace) fall through to a plain Run.
 func (x Experiment) RunCached(c *RunCache) (par.Result, error) {
 	if c == nil || !x.cacheable() {
 		return x.Run()
@@ -134,9 +193,25 @@ func (x Experiment) RunCached(c *RunCache) (par.Result, error) {
 	}
 	e := &runEntry{done: make(chan struct{})}
 	c.entries[key] = e
+	dir := c.dir
 	c.mu.Unlock()
+	if dir != "" {
+		res, ok, stale := loadDisk(dir, key)
+		if stale {
+			c.stale.Add(1)
+		}
+		if ok {
+			c.disk.Add(1)
+			e.res = res
+			close(e.done)
+			return cloneResult(e.res), nil
+		}
+	}
 	c.misses.Add(1)
 	e.res, e.err = x.Run()
 	close(e.done)
+	if dir != "" && e.err == nil {
+		storeDisk(dir, key, e.res)
+	}
 	return cloneResult(e.res), e.err
 }
