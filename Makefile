@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench chaos
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,18 @@ test:
 
 # The simulator and the sweep layer are the concurrency-sensitive packages:
 # sweeps run many single-threaded simulations in parallel and share the
-# run cache, so they get a dedicated race-detector pass.
+# run cache, so they get a dedicated race-detector pass. The fault and
+# transport layers ride along: chaos sweeps drive them from the same pool.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/core/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/faults/... ./internal/par/...
 
 check: build vet test race
 
 # bench regenerates results/BENCH_kernel.json (median of 5 runs).
 bench:
 	$(GO) run ./cmd/bench -o results/BENCH_kernel.json -repeat 5
+
+# chaos regenerates results/chaos.csv: the fault-injection sensitivity
+# sweep at paper scale (deterministic; reruns hit the run cache).
+chaos:
+	$(GO) run ./cmd/chaos -o results/chaos.csv

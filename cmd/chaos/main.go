@@ -1,0 +1,191 @@
+// Command chaos runs the fault-injection sensitivity sweep: every
+// application variant under deterministic wide-area message loss and
+// transient link outages, healed by the go-back-N reliable transport. It
+// writes the full grid to a CSV file and prints the headline table — the
+// injected loss rate and outage duration at which each application falls
+// below the paper's 60%-of-uniform acceptability criterion.
+//
+// Example:
+//
+//	chaos                          # paper scale, default fault grid
+//	chaos -scale small -drops 0,0.01,0.1 -outages 0,100ms
+//	chaos -o results/chaos.csv
+//
+// Two runs with the same flags and seed produce byte-identical CSV files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/core"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+func main() {
+	var (
+		scaleF     = flag.String("scale", "paper", "problem scale: tiny, small or paper")
+		dropsF     = flag.String("drops", "", "comma-separated wide-area loss rates in [0,1), e.g. 0,0.01,0.05 (default the built-in grid)")
+		outagesF   = flag.String("outages", "", "comma-separated outage durations, e.g. 0,100ms,300ms (default the built-in grid)")
+		period     = flag.Duration("period", time.Second, "outage repetition period")
+		latency    = flag.Duration("latency", 500*time.Microsecond, "one-way wide-area latency")
+		bandwidth  = flag.Float64("bandwidth", 6.0, "wide-area bandwidth in MByte/s")
+		clusters   = flag.Int("clusters", 4, "number of clusters")
+		perCluster = flag.Int("percluster", 8, "processors per cluster")
+		seed       = flag.Int64("seed", core.DefaultSeed, "fault-plan seed (non-negative)")
+		out        = flag.String("o", "results/chaos.csv", "CSV output path")
+		cacheDir   = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache")
+	)
+	flag.Parse()
+
+	scale, ok := map[string]apps.Scale{"tiny": apps.Tiny, "small": apps.Small, "paper": apps.Paper}[*scaleF]
+	if !ok {
+		fatal(fmt.Errorf("unknown scale %q (want tiny, small or paper)", *scaleF))
+	}
+	if *bandwidth <= 0 {
+		fatal(fmt.Errorf("-bandwidth must be positive (got %g MByte/s)", *bandwidth))
+	}
+	if *clusters < 1 {
+		fatal(fmt.Errorf("-clusters must be at least 1 (got %d)", *clusters))
+	}
+	if *perCluster < 1 {
+		fatal(fmt.Errorf("-percluster must be at least 1 (got %d)", *perCluster))
+	}
+	if *seed < 0 {
+		fatal(fmt.Errorf("-seed must be non-negative (got %d)", *seed))
+	}
+	drops, err := parseDrops(*dropsF)
+	if err != nil {
+		fatal(err)
+	}
+	if drops == nil {
+		drops = core.DefaultChaosDrops
+	}
+	outages, err := parseOutages(*outagesF, sim.Time((*period).Nanoseconds()))
+	if err != nil {
+		fatal(err)
+	}
+	if outages == nil {
+		outages = core.DefaultChaosOutages
+	}
+	topo, err := topology.Uniform(*clusters, *perCluster)
+	if err != nil {
+		fatal(err)
+	}
+
+	cache := core.DefaultCache
+	if *noCache {
+		cache = nil
+	} else if err := cache.SetDir(*cacheDir); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: run cache disabled: %v\n", err)
+	}
+
+	cfg := core.ChaosConfig{
+		Scale:        scale,
+		Topo:         topo,
+		Params:       network.DefaultParams().WithWAN(sim.Time((*latency).Nanoseconds()), *bandwidth*1e6),
+		Drops:        drops,
+		Outages:      outages,
+		OutagePeriod: sim.Time((*period).Nanoseconds()),
+		Seed:         *seed,
+		Cache:        cache,
+	}
+	points, err := core.ChaosStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	core.WriteChaosCSV(f, points)
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("chaos sensitivity at %s scale, %s, WAN %v / %.3g MByte/s, fault seed %d\n",
+		scale, topo, cfg.Params.WANLatency, *bandwidth, *seed)
+	fmt.Printf("grid: loss rates %v, outage durations %v per %v period (%d runs)\n\n",
+		drops, outages, *period, len(points))
+	fmt.Print(core.RenderChaosSummary(points))
+	fmt.Printf("\nfull grid written to %s\n", *out)
+	if cache != nil {
+		// Cache effectiveness goes to stderr: stdout stays byte-identical
+		// across reruns (the determinism contract).
+		s := cache.CacheStats()
+		fmt.Fprintf(os.Stderr, "run cache: %d memory hits, %d disk hits, %d simulated, %d stale\n",
+			s.Hits, s.DiskHits, s.Misses, s.Stale)
+	}
+}
+
+// parseDrops parses "-drops 0,0.01,0.1"; an empty flag keeps the default grid.
+func parseDrops(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-drops: bad rate %q: %v", part, err)
+		}
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("-drops: rate %g outside [0,1)", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseOutages parses "-outages 0,100ms,300ms"; durations must fit inside
+// the outage period. An empty flag keeps the default grid.
+func parseOutages(s string, period sim.Time) ([]sim.Time, error) {
+	if s == "" {
+		for _, d := range core.DefaultChaosOutages {
+			if d >= period {
+				return nil, fmt.Errorf("-period %v too short for the default outage grid (max %v)", period, d)
+			}
+		}
+		return nil, nil
+	}
+	var out []sim.Time
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("-outages: bad duration %q: %v", part, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("-outages: negative duration %v", d)
+		}
+		if sim.Time(d.Nanoseconds()) >= period {
+			return nil, fmt.Errorf("-outages: duration %v must be shorter than the %v period", d, period)
+		}
+		out = append(out, sim.Time(d.Nanoseconds()))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaos:", err)
+	os.Exit(1)
+}

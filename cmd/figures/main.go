@@ -32,15 +32,15 @@ import (
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "regenerate Table 1")
-		table2 = flag.Bool("table2", false, "regenerate Table 2")
-		fig1   = flag.Bool("fig1", false, "regenerate Figure 1")
-		fig3   = flag.Bool("fig3", false, "regenerate Figure 3 (full sweep)")
-		fig4   = flag.Bool("fig4", false, "regenerate Figure 4")
-		gaps   = flag.Bool("gaps", false, "acceptable-gap analysis (Section 5.1)")
-		shapes = flag.Bool("shapes", false, "cluster-structure study (Section 5.1)")
-		varia  = flag.Bool("variability", false, "wide-area fluctuation study (the paper's future work)")
-		all    = flag.Bool("all", false, "regenerate everything")
+		table1   = flag.Bool("table1", false, "regenerate Table 1")
+		table2   = flag.Bool("table2", false, "regenerate Table 2")
+		fig1     = flag.Bool("fig1", false, "regenerate Figure 1")
+		fig3     = flag.Bool("fig3", false, "regenerate Figure 3 (full sweep)")
+		fig4     = flag.Bool("fig4", false, "regenerate Figure 4")
+		gaps     = flag.Bool("gaps", false, "acceptable-gap analysis (Section 5.1)")
+		shapes   = flag.Bool("shapes", false, "cluster-structure study (Section 5.1)")
+		varia    = flag.Bool("variability", false, "wide-area fluctuation study (the paper's future work)")
+		all      = flag.Bool("all", false, "regenerate everything")
 		scaleF   = flag.String("scale", "paper", "problem scale: tiny, small or paper")
 		appsF    = flag.String("apps", "", "comma-separated application filter (Figure 3)")
 		csv      = flag.Bool("csv", false, "emit Figure 3 as CSV")
@@ -60,6 +60,12 @@ func main() {
 	var filter []string
 	if *appsF != "" {
 		filter = strings.Split(*appsF, ",")
+		for i, name := range filter {
+			filter[i] = strings.TrimSpace(name)
+			if _, err := core.AppByName(filter[i]); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	ran := false
 

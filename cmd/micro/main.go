@@ -27,6 +27,21 @@ func main() {
 		bytes      = flag.Int64("bytes", 1024, "message payload size")
 	)
 	flag.Parse()
+	if *bandwidth <= 0 {
+		fatal(fmt.Errorf("-bandwidth must be positive (got %g MByte/s)", *bandwidth))
+	}
+	if *clusters < 1 {
+		fatal(fmt.Errorf("-clusters must be at least 1 (got %d)", *clusters))
+	}
+	if *perCluster < 1 {
+		fatal(fmt.Errorf("-percluster must be at least 1 (got %d)", *perCluster))
+	}
+	if *reps < 1 {
+		fatal(fmt.Errorf("-reps must be at least 1 (got %d)", *reps))
+	}
+	if *bytes < 0 {
+		fatal(fmt.Errorf("-bytes must be non-negative (got %d)", *bytes))
+	}
 	topo, err := topology.Uniform(*clusters, *perCluster)
 	if err != nil {
 		fatal(err)

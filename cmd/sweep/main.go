@@ -105,6 +105,9 @@ func main() {
 			Period:          100 * sim.Millisecond,
 			Seed:            core.DefaultSeed,
 		}
+		if err := v.Validate(); err != nil {
+			fatal(err)
+		}
 		x.Configure = func(n *network.Network) { n.SetVariability(v) }
 	}
 	var tr *trace.Collector

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/faults"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/stats"
+	"twolayer/internal/topology"
+	"twolayer/internal/trace"
+)
+
+// This file is the chaos sensitivity study: the paper asks how sensitive
+// the applications are to slow wide-area links; here we additionally ask
+// how sensitive they are to *unreliable* ones. Each application variant is
+// re-run under deterministic wide-area fault injection (message loss and
+// transient link outages, healed by the go-back-N transport) and measured
+// against the paper's 60%-of-uniform acceptability criterion.
+
+// ChaosCriterionPct is the paper's acceptability bar (Section 5.2): a
+// multi-cluster run is "acceptable" while it retains at least 60% of the
+// single-cluster speedup.
+const ChaosCriterionPct = 60.0
+
+// Default chaos sweep axes: loss rates spanning clean to badly degraded
+// links, and outage durations within a one-second blackout period.
+var (
+	DefaultChaosDrops   = []float64{0, 0.001, 0.01, 0.05, 0.10}
+	DefaultChaosOutages = []sim.Time{0, 100 * sim.Millisecond, 300 * sim.Millisecond}
+)
+
+// ChaosConfig parameterizes the study. Zero values select the defaults
+// noted per field.
+type ChaosConfig struct {
+	// Scale is the problem size (default Tiny; cmd/chaos runs Paper).
+	Scale apps.Scale
+	// Topo is the machine shape (default the 4x8 DAS).
+	Topo *topology.Topology
+	// Params is the base interconnect (default network.DefaultParams()).
+	Params network.Params
+	// Drops are the wide-area loss rates to sweep (default DefaultChaosDrops).
+	Drops []float64
+	// Outages are the transient-blackout durations to sweep, each applied
+	// with period OutagePeriod (default DefaultChaosOutages).
+	Outages []sim.Time
+	// OutagePeriod is the blackout repetition period (default 1s).
+	OutagePeriod sim.Time
+	// Seed drives the fault plan (default DefaultSeed).
+	Seed int64
+	// Cache memoizes runs; nil disables memoization.
+	Cache *RunCache
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Topo == nil {
+		c.Topo = topology.DAS()
+	}
+	if c.Params == (network.Params{}) {
+		c.Params = network.DefaultParams()
+	}
+	if c.Drops == nil {
+		c.Drops = DefaultChaosDrops
+	}
+	if c.Outages == nil {
+		c.Outages = DefaultChaosOutages
+	}
+	if c.OutagePeriod == 0 {
+		c.OutagePeriod = sim.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// ChaosPoint is one cell of the sweep: one application variant under one
+// fault setting.
+type ChaosPoint struct {
+	App            string
+	Optimized      bool
+	DropRate       float64
+	OutageDuration sim.Time
+	// Elapsed is the faulty multi-cluster runtime TM.
+	Elapsed sim.Time
+	// RelSpeedupPct is the paper metric 100*TL/TM against the fault-free
+	// single-cluster baseline.
+	RelSpeedupPct float64
+	// Transport and Faults record the protocol effort spent healing the run.
+	Transport trace.TransportStats
+	Faults    network.FaultStats
+}
+
+// chaosVariants mirrors the golden-run variant list: every application
+// unoptimized, plus the cluster-aware version where the paper has one.
+func chaosVariants() []struct {
+	app apps.Info
+	opt bool
+} {
+	var vs []struct {
+		app apps.Info
+		opt bool
+	}
+	for _, a := range Apps() {
+		vs = append(vs, struct {
+			app apps.Info
+			opt bool
+		}{a, false})
+		if a.HasOptimized {
+			vs = append(vs, struct {
+				app apps.Info
+				opt bool
+			}{a, true})
+		}
+	}
+	return vs
+}
+
+// ChaosStudy sweeps the fault grid over every application variant and
+// returns one point per (variant, drop rate, outage duration) cell, in
+// deterministic order: application (Table 1 order), then variant, then
+// drop rate, then outage duration.
+func ChaosStudy(cfg ChaosConfig) ([]ChaosPoint, error) {
+	cfg = cfg.withDefaults()
+	base := NewBaselinesCached(cfg.Scale, cfg.Cache)
+	variants := chaosVariants()
+	points := make([]ChaosPoint, len(variants)*len(cfg.Drops)*len(cfg.Outages))
+	cell := func(i int) (v struct {
+		app apps.Info
+		opt bool
+	}, drop float64, outage sim.Time) {
+		nd, no := len(cfg.Drops), len(cfg.Outages)
+		return variants[i/(nd*no)], cfg.Drops[i/no%nd], cfg.Outages[i%no]
+	}
+	err := forEachWeighted(len(points),
+		func(i int) float64 {
+			// Unoptimized variants and heavier faults simulate more virtual
+			// time; start them first to keep the worker pool's tail short.
+			v, drop, outage := cell(i)
+			w := 1 + 20*drop + float64(outage)/float64(sim.Second)
+			if !v.opt {
+				w *= 3
+			}
+			return w
+		},
+		func(i int) error {
+			v, drop, outage := cell(i)
+			f := faults.Params{DropRate: drop, Seed: cfg.Seed}
+			if outage > 0 {
+				f.OutagePeriod = cfg.OutagePeriod
+				f.OutageDuration = outage
+			}
+			res, err := Experiment{
+				App: v.app, Scale: cfg.Scale, Optimized: v.opt,
+				Topo: cfg.Topo, Params: cfg.Params, Faults: f,
+			}.RunCached(cfg.Cache)
+			if err != nil {
+				return fmt.Errorf("chaos %s opt=%v drop=%g outage=%v: %w",
+					v.app.Name, v.opt, drop, outage, err)
+			}
+			tl, err := base.SingleCluster(v.app, cfg.Topo.Procs())
+			if err != nil {
+				return err
+			}
+			points[i] = ChaosPoint{
+				App: v.app.Name, Optimized: v.opt,
+				DropRate: drop, OutageDuration: outage,
+				Elapsed:       res.Elapsed,
+				RelSpeedupPct: RelativeSpeedup(tl, res.Elapsed),
+				Transport:     res.Transport,
+				Faults:        res.Faults,
+			}
+			return nil
+		})
+	return points, err
+}
+
+// ChaosThreshold is the summary row for one variant: the smallest injected
+// fault that pushes it below the acceptability criterion.
+type ChaosThreshold struct {
+	App       string
+	Optimized bool
+	// CleanPct is the relative speedup with no faults injected.
+	CleanPct float64
+	// DropThreshold is the smallest swept loss rate (outages off) at which
+	// the variant falls below ChaosCriterionPct; -1 if it never does.
+	DropThreshold float64
+	// OutageThreshold is the smallest swept outage duration (loss off)
+	// below the criterion; -1 if it never falls.
+	OutageThreshold sim.Time
+}
+
+// ChaosThresholds reduces a study to one row per variant.
+func ChaosThresholds(points []ChaosPoint) []ChaosThreshold {
+	type key struct {
+		app string
+		opt bool
+	}
+	var order []key
+	rows := make(map[key]*ChaosThreshold)
+	for _, p := range points {
+		k := key{p.App, p.Optimized}
+		t, ok := rows[k]
+		if !ok {
+			t = &ChaosThreshold{App: p.App, Optimized: p.Optimized,
+				DropThreshold: -1, OutageThreshold: -1}
+			rows[k] = t
+			order = append(order, k)
+		}
+		switch {
+		case p.DropRate == 0 && p.OutageDuration == 0:
+			t.CleanPct = p.RelSpeedupPct
+		case p.OutageDuration == 0 && p.RelSpeedupPct < ChaosCriterionPct:
+			if t.DropThreshold < 0 || p.DropRate < t.DropThreshold {
+				t.DropThreshold = p.DropRate
+			}
+		case p.DropRate == 0 && p.RelSpeedupPct < ChaosCriterionPct:
+			if t.OutageThreshold < 0 || p.OutageDuration < t.OutageThreshold {
+				t.OutageThreshold = p.OutageDuration
+			}
+		}
+	}
+	out := make([]ChaosThreshold, len(order))
+	for i, k := range order {
+		out[i] = *rows[k]
+	}
+	return out
+}
+
+func variantName(optimized bool) string {
+	if optimized {
+		return "optimized"
+	}
+	return "unoptimized"
+}
+
+// RenderChaosSummary formats the thresholds as the study's headline table.
+func RenderChaosSummary(points []ChaosPoint) string {
+	t := stats.NewTable("Program", "Variant", "Clean rel. speedup",
+		"Loss rate breaking 60%", "Outage breaking 60%")
+	for _, r := range ChaosThresholds(points) {
+		drop, outage := "never", "never"
+		if r.CleanPct < ChaosCriterionPct {
+			drop, outage = "already below", "already below"
+		} else {
+			if r.DropThreshold >= 0 {
+				drop = fmt.Sprintf("%g", r.DropThreshold)
+			}
+			if r.OutageThreshold >= 0 {
+				outage = r.OutageThreshold.String()
+			}
+		}
+		t.AddRow(r.App, variantName(r.Optimized),
+			fmt.Sprintf("%.1f%%", r.CleanPct), drop, outage)
+	}
+	return t.String()
+}
+
+// WriteChaosCSV emits the full grid as CSV. The formatting is fixed-point
+// and the row order deterministic, so two same-seed studies produce
+// byte-identical files.
+func WriteChaosCSV(w io.Writer, points []ChaosPoint) {
+	t := stats.NewTable("app", "variant", "drop_rate", "outage_ms",
+		"elapsed_ms", "relative_speedup_pct",
+		"timeouts", "retransmits", "acks",
+		"dropped", "outage_dropped", "duplicated")
+	for _, p := range points {
+		t.AddRow(p.App, variantName(p.Optimized),
+			fmt.Sprintf("%g", p.DropRate),
+			fmt.Sprintf("%.1f", float64(p.OutageDuration)/float64(sim.Millisecond)),
+			fmt.Sprintf("%.3f", float64(p.Elapsed)/float64(sim.Millisecond)),
+			fmt.Sprintf("%.2f", p.RelSpeedupPct),
+			fmt.Sprint(p.Transport.Timeouts),
+			fmt.Sprint(p.Transport.Retransmits),
+			fmt.Sprint(p.Transport.Acks),
+			fmt.Sprint(p.Faults.Dropped),
+			fmt.Sprint(p.Faults.OutageDropped),
+			fmt.Sprint(p.Faults.Duplicated))
+	}
+	t.CSV(w)
+}

@@ -19,6 +19,7 @@ import (
 	"twolayer/internal/apps/fft"
 	"twolayer/internal/apps/tsp"
 	"twolayer/internal/apps/water"
+	"twolayer/internal/faults"
 	"twolayer/internal/network"
 	"twolayer/internal/par"
 	"twolayer/internal/sim"
@@ -75,6 +76,11 @@ type Experiment struct {
 	Configure func(*network.Network)
 	// Trace, if non-nil, records every message and compute span.
 	Trace *trace.Collector
+	// Faults injects deterministic wide-area faults; the zero value leaves
+	// the run byte-identical to a fault-free one. Faulty runs route
+	// wide-area traffic through the reliable transport and remain fully
+	// deterministic, so they cache like any other run.
+	Faults faults.Params
 }
 
 // Run executes the experiment.
@@ -85,6 +91,7 @@ func (x Experiment) Run() (par.Result, error) {
 		Seed:      DefaultSeed,
 		Configure: x.Configure,
 		Trace:     x.Trace,
+		Faults:    x.Faults,
 	}, inst.Job(x.Optimized))
 	if err != nil {
 		return res, fmt.Errorf("core: %s (opt=%v) on %v: %w", x.App.Name, x.Optimized, x.Topo, err)

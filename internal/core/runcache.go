@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"twolayer/internal/apps"
+	"twolayer/internal/faults"
 	"twolayer/internal/network"
 	"twolayer/internal/par"
 	"twolayer/internal/sim"
@@ -24,6 +25,10 @@ type RunKey struct {
 	Topo   string
 	Params network.Params
 	Seed   int64
+	// Faults extends the key for fault-injected runs. omitzero keeps the
+	// fault-free JSON encoding — and therefore every existing on-disk cache
+	// entry's content address — byte-identical to the pre-fault format.
+	Faults faults.Params `json:",omitzero"`
 }
 
 // runEntry is a singleflight slot: the first requester computes, everyone
@@ -169,6 +174,7 @@ func (x Experiment) Key() RunKey {
 		Topo:      x.Topo.String(),
 		Params:    x.Params,
 		Seed:      DefaultSeed,
+		Faults:    x.Faults,
 	}
 }
 

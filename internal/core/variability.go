@@ -35,6 +35,9 @@ type VariabilityResult struct {
 // fluctuation only ever degrades links relative to the base speed, so the
 // slowdown isolates the cost of *variation* on top of the mean gap.
 func VariabilityStudy(scale apps.Scale, base network.Params, v network.Variability) ([]VariabilityResult, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
 	suite := Apps()
 	results := make([]VariabilityResult, len(suite))
 	err := forEach(len(suite), func(i int) error {
@@ -49,6 +52,7 @@ func VariabilityStudy(scale apps.Scale, base network.Params, v network.Variabili
 		variable, err := Experiment{
 			App: app, Scale: scale, Optimized: app.HasOptimized,
 			Topo: topology.DAS(), Params: base,
+			// v was validated above, so SetVariability cannot fail here.
 			Configure: func(n *network.Network) { n.SetVariability(v) },
 		}.Run()
 		if err != nil {

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"twolayer/internal/sim"
+)
+
+func TestValidate(t *testing.T) {
+	valid := Params{
+		DropRate: 0.1, DupRate: 0.05, ReorderJitter: sim.Millisecond,
+		OutagePeriod: sim.Second, OutageDuration: 100 * sim.Millisecond, Seed: 7,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Params)
+		want string
+	}{
+		{"negative drop", func(p *Params) { p.DropRate = -0.1 }, "DropRate"},
+		{"drop of one", func(p *Params) { p.DropRate = 1 }, "DropRate"},
+		{"negative dup", func(p *Params) { p.DupRate = -1 }, "DupRate"},
+		{"dup above one", func(p *Params) { p.DupRate = 1.5 }, "DupRate"},
+		{"negative jitter", func(p *Params) { p.ReorderJitter = -1 }, "ReorderJitter"},
+		{"negative period", func(p *Params) { p.OutagePeriod = -1 }, "OutagePeriod"},
+		{"negative duration", func(p *Params) { p.OutagePeriod = 0; p.OutageDuration = -1 }, "OutageDuration"},
+		{"duration without period", func(p *Params) { p.OutagePeriod = 0 }, "without an OutagePeriod"},
+		{"duration covers period", func(p *Params) { p.OutageDuration = p.OutagePeriod }, "shorter than"},
+		{"negative seed", func(p *Params) { p.Seed = -1 }, "seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid
+			tc.mut(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("params %+v accepted", p)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Params{}).Enabled() {
+		t.Error("zero params enabled")
+	}
+	if (Params{Seed: 42}).Enabled() {
+		t.Error("seed alone enables nothing")
+	}
+	for _, p := range []Params{
+		{DropRate: 0.01},
+		{DupRate: 0.01},
+		{ReorderJitter: sim.Millisecond},
+		{OutagePeriod: sim.Second, OutageDuration: sim.Millisecond},
+	} {
+		if !p.Enabled() {
+			t.Errorf("%+v should be enabled", p)
+		}
+	}
+	// An outage duration without a period is invalid, not silently enabled.
+	if (Params{OutageDuration: sim.Millisecond}).Enabled() {
+		t.Error("duration without period must not enable")
+	}
+}
+
+func TestNewPlanPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPlan accepted invalid params")
+		}
+	}()
+	NewPlan(Params{DropRate: -1})
+}
+
+// TestDecideDeterministic: equal identities give equal decisions; the
+// decision depends on every identity component.
+func TestDecideDeterministic(t *testing.T) {
+	p := Params{DropRate: 0.3, DupRate: 0.2, ReorderJitter: 10 * sim.Millisecond, Seed: 1}
+	a, b := NewPlan(p), NewPlan(p)
+	for idx := int64(0); idx < 200; idx++ {
+		if a.Decide(0, 1, idx, 0) != b.Decide(0, 1, idx, 0) {
+			t.Fatalf("plans diverged at idx %d", idx)
+		}
+	}
+	differs := func(name string, other *Plan, src, dst int) {
+		same := true
+		for idx := int64(0); idx < 64 && same; idx++ {
+			if a.Decide(0, 1, idx, 0) != other.Decide(src, dst, idx, 0) {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%s: fault stream did not change", name)
+		}
+	}
+	p2 := p
+	p2.Seed = 2
+	differs("seed", NewPlan(p2), 0, 1)
+	differs("link src", a, 2, 1)
+	differs("link dst", a, 0, 2)
+}
+
+// TestDecideRates checks the drop and duplicate frequencies over a large
+// sample (law of large numbers; the streams are fixed by the seed so this
+// is deterministic, not flaky).
+func TestDecideRates(t *testing.T) {
+	p := Params{DropRate: 0.1, DupRate: 0.05, Seed: 9}
+	pl := NewPlan(p)
+	const n = 100_000
+	var drops, dups int
+	for idx := int64(0); idx < n; idx++ {
+		d := pl.Decide(1, 3, idx, 0)
+		if d.Drop {
+			drops++
+		}
+		if d.Duplicate {
+			dups++
+		}
+	}
+	if got := float64(drops) / n; math.Abs(got-p.DropRate) > 0.01 {
+		t.Errorf("drop frequency %.4f, want ~%.2f", got, p.DropRate)
+	}
+	if got := float64(dups) / n; math.Abs(got-p.DupRate) > 0.01 {
+		t.Errorf("dup frequency %.4f, want ~%.2f", got, p.DupRate)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	j := 5 * sim.Millisecond
+	pl := NewPlan(Params{ReorderJitter: j, DupRate: 0.5, Seed: 3})
+	var nonzero bool
+	for idx := int64(0); idx < 1000; idx++ {
+		d := pl.Decide(0, 1, idx, 0)
+		if d.ExtraDelay < 0 || d.ExtraDelay > j {
+			t.Fatalf("jitter %v outside [0,%v]", d.ExtraDelay, j)
+		}
+		if d.DupExtraDelay < 0 || d.DupExtraDelay > j {
+			t.Fatalf("dup jitter %v outside [0,%v]", d.DupExtraDelay, j)
+		}
+		if d.ExtraDelay > 0 {
+			nonzero = true
+		}
+		if d.DupExtraDelay > 0 && !d.Duplicate {
+			t.Fatal("dup jitter without duplicate")
+		}
+	}
+	if !nonzero {
+		t.Error("jitter never fired")
+	}
+}
+
+// TestOutageWindows: the link is down for exactly OutageDuration out of
+// every OutagePeriod, phases differ between links, and messages sent during
+// an outage are dropped with the Outage flag.
+func TestOutageWindows(t *testing.T) {
+	period, dur := 100*sim.Millisecond, 25*sim.Millisecond
+	pl := NewPlan(Params{OutagePeriod: period, OutageDuration: dur, Seed: 5})
+	// Sample one full period at 1 ms resolution: ~25% down.
+	var down int
+	const steps = 1000
+	for i := 0; i < steps; i++ {
+		if pl.LinkDown(0, 1, sim.Time(i)*10*period/steps) {
+			down++
+		}
+	}
+	frac := float64(down) / steps
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("down fraction %.3f, want ~0.25", frac)
+	}
+	// Phases must differ between links (seed-derived, not synchronized).
+	same := true
+	for i := 0; i < steps && same; i++ {
+		at := sim.Time(i) * 10 * period / steps
+		if pl.LinkDown(0, 1, at) != pl.LinkDown(1, 0, at) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("outage schedules of distinct links are synchronized")
+	}
+	// During an outage the decision is a drop flagged as such.
+	for i := 0; i < steps; i++ {
+		at := sim.Time(i) * 10 * period / steps
+		d := pl.Decide(0, 1, int64(i), at)
+		if d.Drop != pl.LinkDown(0, 1, at) || (d.Drop && !d.Outage) {
+			t.Fatalf("decision %+v disagrees with LinkDown at %v", d, at)
+		}
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	pl := NewPlan(Params{Seed: 42})
+	for idx := int64(0); idx < 1000; idx++ {
+		if d := pl.Decide(0, 1, idx, sim.Time(idx)*sim.Millisecond); d != (Decision{}) {
+			t.Fatalf("zero plan injected %+v", d)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"fmt"
 	"math/rand"
 
 	"twolayer/internal/sim"
@@ -50,6 +51,23 @@ func (v Variability) enabled() bool {
 	return v.LatencyJitter > 0 || v.BandwidthFactor > 0
 }
 
+// Validate checks the fluctuation parameters: the bandwidth factor must lie
+// in [0,1) (a factor of 1 would stall the link forever), durations must be
+// non-negative, and the seed non-negative (negative seeds are reserved).
+func (v Variability) Validate() error {
+	switch {
+	case v.BandwidthFactor < 0 || v.BandwidthFactor >= 1:
+		return fmt.Errorf("network: BandwidthFactor %v outside [0,1)", v.BandwidthFactor)
+	case v.LatencyJitter < 0:
+		return fmt.Errorf("network: negative LatencyJitter %v", v.LatencyJitter)
+	case v.Period < 0:
+		return fmt.Errorf("network: negative Period %v", v.Period)
+	case v.Seed < 0:
+		return fmt.Errorf("network: negative seed %d", v.Seed)
+	}
+	return nil
+}
+
 // wanState is the per-directed-link dynamic state for the extensions.
 type wanState struct {
 	latency   sim.Time
@@ -72,14 +90,19 @@ func (n *Network) SetPairSpeeds(pairs []PairSpeed) {
 }
 
 // SetVariability enables deterministic wide-area fluctuation. Call before
-// any traffic.
-func (n *Network) SetVariability(v Variability) {
+// any traffic. Invalid parameters (see Validate) are rejected without
+// touching the network.
+func (n *Network) SetVariability(v Variability) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
 	n.ensureWANState()
 	n.variability = v
 	for i, st := range n.wanStates {
 		st.rng = rand.New(rand.NewSource(v.Seed + int64(i)*104729))
 		st.factor = 1
 	}
+	return nil
 }
 
 // ensureWANState materializes per-link state lazily so the base model pays

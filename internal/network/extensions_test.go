@@ -1,16 +1,15 @@
 package network
 
 import (
+	"strings"
 	"testing"
 
 	"twolayer/internal/sim"
-	"twolayer/internal/topology"
 )
 
 func TestPairSpeedOverride(t *testing.T) {
 	arrive := func(configure func(*Network)) sim.Time {
-		k := sim.NewKernel()
-		n := New(k, topology.DAS(), flatParams().WithWAN(10*sim.Millisecond, 1e6))
+		k, n := dasNet(t, slowWANParams())
 		if configure != nil {
 			configure(n)
 		}
@@ -39,10 +38,9 @@ func TestPairSpeedOverride(t *testing.T) {
 
 func TestRTTFactorSurcharge(t *testing.T) {
 	run := func(factor float64) sim.Time {
-		k := sim.NewKernel()
-		p := flatParams().WithWAN(10*sim.Millisecond, 1e6)
+		p := slowWANParams()
 		p.WANMessageRTTFactor = factor
-		n := New(k, topology.DAS(), p)
+		k, n := dasNet(t, p)
 		var at sim.Time
 		n.Send(0, 8, 100, func() { at = k.Now() })
 		if err := k.Run(); err != nil {
@@ -60,14 +58,15 @@ func TestRTTFactorSurcharge(t *testing.T) {
 
 func TestVariabilityDeterministicAndBounded(t *testing.T) {
 	run := func(seed int64) []sim.Time {
-		k := sim.NewKernel()
-		n := New(k, topology.DAS(), flatParams().WithWAN(10*sim.Millisecond, 1e6))
-		n.SetVariability(Variability{
+		k, n := dasNet(t, slowWANParams())
+		if err := n.SetVariability(Variability{
 			LatencyJitter:   5 * sim.Millisecond,
 			BandwidthFactor: 0.5,
 			Period:          20 * sim.Millisecond,
 			Seed:            seed,
-		})
+		}); err != nil {
+			t.Fatal(err)
+		}
 		var times []sim.Time
 		for i := 0; i < 10; i++ {
 			n.Send(0, 8, 10_000, func() { times = append(times, k.Now()) })
@@ -96,8 +95,7 @@ func TestVariabilityDeterministicAndBounded(t *testing.T) {
 	}
 	// Bounds: every delivery at least as late as the un-jittered ideal and
 	// no later than worst case (half bandwidth, +5ms latency each, serialized).
-	k := sim.NewKernel()
-	n := New(k, topology.DAS(), flatParams().WithWAN(10*sim.Millisecond, 1e6))
+	k, n := dasNet(t, slowWANParams())
 	var ideal sim.Time
 	n.Send(0, 8, 10_000, func() { ideal = k.Now() })
 	if err := k.Run(); err != nil {
@@ -108,9 +106,58 @@ func TestVariabilityDeterministicAndBounded(t *testing.T) {
 	}
 }
 
+// TestVariabilityValidation rejects out-of-range fluctuation parameters
+// before they can corrupt a run, and SetVariability refuses them without
+// touching the network.
+func TestVariabilityValidation(t *testing.T) {
+	valid := Variability{
+		LatencyJitter:   5 * sim.Millisecond,
+		BandwidthFactor: 0.5,
+		Period:          20 * sim.Millisecond,
+		Seed:            1,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	if err := (Variability{}).Validate(); err != nil {
+		t.Fatalf("zero value rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Variability)
+		want string
+	}{
+		{"factor of one", func(v *Variability) { v.BandwidthFactor = 1 }, "BandwidthFactor"},
+		{"factor above one", func(v *Variability) { v.BandwidthFactor = 1.5 }, "BandwidthFactor"},
+		{"negative factor", func(v *Variability) { v.BandwidthFactor = -0.1 }, "BandwidthFactor"},
+		{"negative jitter", func(v *Variability) { v.LatencyJitter = -1 }, "LatencyJitter"},
+		{"negative period", func(v *Variability) { v.Period = -1 }, "Period"},
+		{"negative seed", func(v *Variability) { v.Seed = -1 }, "seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := valid
+			tc.mut(&v)
+			err := v.Validate()
+			if err == nil {
+				t.Fatalf("params %+v accepted", v)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			_, n := dasNet(t, slowWANParams())
+			if n.SetVariability(v) == nil {
+				t.Error("SetVariability accepted invalid params")
+			}
+			if n.wanStates != nil || n.variability.enabled() {
+				t.Error("rejected params still mutated the network")
+			}
+		})
+	}
+}
+
 func TestObserverSeesAllMessages(t *testing.T) {
-	k := sim.NewKernel()
-	n := New(k, topology.DAS(), DefaultParams())
+	k, n := dasNet(t, DefaultParams())
 	var events []MessageEvent
 	n.SetObserver(func(ev MessageEvent) { events = append(events, ev) })
 	n.Send(0, 0, 10, func() {}) // loopback
@@ -128,6 +175,9 @@ func TestObserverSeesAllMessages(t *testing.T) {
 	for _, ev := range events {
 		if ev.Delivered <= ev.Sent {
 			t.Errorf("non-positive transit: %+v", ev)
+		}
+		if ev.Class != ClassData || ev.Duplicate || ev.Dropped {
+			t.Errorf("plain send mislabelled: %+v", ev)
 		}
 	}
 }

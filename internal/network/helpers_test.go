@@ -1,0 +1,35 @@
+package network
+
+import (
+	"testing"
+
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+// Shared helpers for the package's test files (network_test.go,
+// extensions_test.go, faults_test.go), so each file does not grow its own
+// copy of the same parameter plumbing.
+
+// flatParams removes software overheads so arrival times can be checked
+// against hand-computed values.
+func flatParams() Params {
+	p := DefaultParams()
+	p.SendOverhead = 0
+	p.RecvOverhead = 0
+	p.WANPerMessage = 0
+	return p
+}
+
+// slowWANParams is the 10 ms / 1 MByte/s overhead-free configuration most
+// extension tests probe, where the wide-area leg dominates every timing.
+func slowWANParams() Params {
+	return flatParams().WithWAN(10*sim.Millisecond, 1e6)
+}
+
+// dasNet builds a kernel and a DAS-shaped network with the given parameters.
+func dasNet(t *testing.T, p Params) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	return k, New(k, topology.DAS(), p)
+}

@@ -18,6 +18,7 @@ package network
 import (
 	"fmt"
 
+	"twolayer/internal/faults"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 )
@@ -143,16 +144,67 @@ type Network struct {
 	wanStates   []*wanState
 	variability Variability
 	observer    func(MessageEvent)
+
+	// Fault injection (see SetFaults); nil when the WAN is reliable.
+	faults     *faults.Plan
+	faultIdx   []int64 // per directed wide-area link message counter
+	faultStats FaultStats
+}
+
+// MsgClass labels a message's role for observers and fault accounting: an
+// application payload, a transport-level retransmission of one, or a
+// transport acknowledgement. The network treats all classes identically on
+// the wire; the distinction exists so traces can count logical traffic
+// exactly once.
+type MsgClass uint8
+
+const (
+	// ClassData is a first transmission of an application payload.
+	ClassData MsgClass = iota
+	// ClassRetrans is a reliable-transport retransmission.
+	ClassRetrans
+	// ClassAck is a reliable-transport acknowledgement.
+	ClassAck
+)
+
+// String names the class for trace exports.
+func (c MsgClass) String() string {
+	switch c {
+	case ClassRetrans:
+		return "retrans"
+	case ClassAck:
+		return "ack"
+	default:
+		return "data"
+	}
 }
 
 // MessageEvent is reported to the observer installed with SetObserver for
-// every delivered message: the raw material of the trace subsystem.
+// every delivered — or, with fault injection, dropped — message: the raw
+// material of the trace subsystem.
 type MessageEvent struct {
 	Src, Dst  int
 	Bytes     int64
 	Sent      sim.Time
 	Delivered sim.Time
 	WAN       bool
+	// Class labels payloads vs. transport-level retransmissions and acks.
+	Class MsgClass
+	// Duplicate marks the injected second copy of a duplicated message.
+	Duplicate bool
+	// Dropped marks a message lost to fault injection; Delivered then holds
+	// the time the loss occurred and no delivery callback ever fires.
+	Dropped bool
+}
+
+// FaultStats counts injected faults on the wide-area links.
+type FaultStats struct {
+	// Dropped messages were lost in flight (after occupying the link).
+	Dropped int64
+	// OutageDropped messages hit a link outage (never occupied the link).
+	OutageDropped int64
+	// Duplicated messages were delivered twice.
+	Duplicated int64
 }
 
 // SetObserver installs a callback invoked at every message delivery. Passing
@@ -191,6 +243,14 @@ func (n *Network) Params() Params { return n.params }
 // callback receives the arrival time (equal to the kernel's current time
 // when it fires).
 func (n *Network) Send(src, dst int, size int64, deliver func()) {
+	n.SendClass(src, dst, size, ClassData, deliver)
+}
+
+// SendClass is Send with an explicit message class. The class does not
+// change the wire model; it flows to observers (so traces can separate
+// payloads from retransmissions and acks) and is how the reliable transport
+// in package par labels its protocol traffic.
+func (n *Network) SendClass(src, dst int, size int64, class MsgClass, deliver func()) {
 	if size < 0 {
 		panic(fmt.Sprintf("network: negative message size %d", size))
 	}
@@ -202,7 +262,7 @@ func (n *Network) Send(src, dst int, size int64, deliver func()) {
 		deliverAt := ready + n.params.RecvOverhead
 		n.k.Schedule(deliverAt, deliver)
 		if n.observer != nil {
-			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt})
+			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt, Class: class})
 		}
 		return
 	}
@@ -217,29 +277,94 @@ func (n *Network) Send(src, dst int, size int64, deliver func()) {
 		deliverAt := localArrive + n.params.RecvOverhead
 		n.k.Schedule(deliverAt, deliver)
 		if n.observer != nil {
-			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt})
+			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt, Class: class})
 		}
 		return
 	}
 
-	// Second leg: gateway store-and-forward over the dedicated wide-area
-	// link for this cluster pair.
 	sc, dc := n.topo.ClusterOf(src), n.topo.ClusterOf(dst)
-	wanLat, wanBW := n.wanSpeed(sc, dc)
+
+	// Fault injection happens where the paper's real system would lose
+	// traffic: at the gateway onto the wide-area link. The intra-cluster
+	// leg above is always reliable.
+	if n.faults != nil {
+		li := sc*n.topo.Clusters() + dc
+		idx := n.faultIdx[li]
+		n.faultIdx[li]++
+		d := n.faults.Decide(sc, dc, idx, localArrive)
+		if d.Drop {
+			if d.Outage {
+				// Link down: the message vanishes at the gateway without
+				// occupying the link.
+				n.faultStats.OutageDropped++
+			} else {
+				// In-flight loss: the frame occupies the link, then is lost
+				// before the far gateway.
+				n.faultStats.Dropped++
+				n.wanLeg(sc, dc, localArrive, size)
+			}
+			if n.observer != nil {
+				n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now,
+					Delivered: localArrive, WAN: true, Class: class, Dropped: true})
+			}
+			return
+		}
+		n.wanDeliver(src, dst, sc, dc, now, localArrive, size, d.ExtraDelay, class, false, deliver)
+		if d.Duplicate {
+			n.faultStats.Duplicated++
+			n.wanDeliver(src, dst, sc, dc, now, localArrive, size, d.DupExtraDelay, class, true, deliver)
+		}
+		return
+	}
+
+	n.wanDeliver(src, dst, sc, dc, now, localArrive, size, 0, class, false, deliver)
+}
+
+// wanLeg books the message onto the directed wide-area link for the cluster
+// pair and returns the time the last byte leaves it.
+func (n *Network) wanLeg(sc, dc int, localArrive sim.Time, size int64) (wanDone, wanLat sim.Time) {
+	lat, wanBW := n.wanSpeed(sc, dc)
 	wl := &n.wan[sc*n.topo.Clusters()+dc]
-	wanDone := wl.reserveWith(localArrive+n.params.WANPerMessage, size, wanBW,
-		sim.Time(float64(2*wanLat)*n.params.WANMessageRTTFactor))
+	wanDone = wl.reserveWith(localArrive+n.params.WANPerMessage, size, wanBW,
+		sim.Time(float64(2*lat)*n.params.WANMessageRTTFactor))
+	return wanDone, lat
+}
+
+// wanDeliver runs the second and third legs of a wide-area message: the
+// store-and-forward wide-area link, then redistribution by the remote
+// gateway onto the fast network. extraDelay is injected reordering jitter,
+// applied after the last hop — the shared links book occupancy eagerly in
+// offer order, so only a post-gateway delay can actually deliver a later
+// message before an earlier one.
+func (n *Network) wanDeliver(src, dst, sc, dc int, sent, localArrive sim.Time,
+	size int64, extraDelay sim.Time, class MsgClass, duplicate bool, deliver func()) {
+	wanDone, wanLat := n.wanLeg(sc, dc, localArrive, size)
 	remoteGateway := wanDone + wanLat
 
-	// Third leg: the remote gateway redistributes onto the fast network.
 	gwDone := n.gateways[dc].reserve(remoteGateway, size, n.params.IntraBandwidth)
 	arrive := gwDone + n.params.IntraLatency
-	deliverAt := arrive + n.params.RecvOverhead
+	deliverAt := arrive + n.params.RecvOverhead + extraDelay
 	n.k.Schedule(deliverAt, deliver)
 	if n.observer != nil {
-		n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt, WAN: true})
+		n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: sent,
+			Delivered: deliverAt, WAN: true, Class: class, Duplicate: duplicate})
 	}
 }
+
+// SetFaults installs a fault-injection plan on the wide-area links (nil
+// disables injection). Call before any traffic. The fast intra-cluster
+// network is never subject to faults. With a plan installed, applications
+// need the reliable transport in package par to complete correctly.
+func (n *Network) SetFaults(plan *faults.Plan) {
+	n.faults = plan
+	if plan != nil && n.faultIdx == nil {
+		c := n.topo.Clusters()
+		n.faultIdx = make([]int64, c*c)
+	}
+}
+
+// FaultStats returns the injected-fault counters.
+func (n *Network) FaultStats() FaultStats { return n.faultStats }
 
 // WANStats returns the accumulated statistics of the directed wide-area
 // link from cluster src to cluster dst.

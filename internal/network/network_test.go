@@ -8,16 +8,6 @@ import (
 	"twolayer/internal/topology"
 )
 
-// flatParams removes software overheads so arrival times can be checked
-// against hand-computed values.
-func flatParams() Params {
-	p := DefaultParams()
-	p.SendOverhead = 0
-	p.RecvOverhead = 0
-	p.WANPerMessage = 0
-	return p
-}
-
 func TestGap(t *testing.T) {
 	p := DefaultParams().WithWAN(2*sim.Millisecond, 0.5e6)
 	lg, bg := p.Gap()

@@ -31,6 +31,11 @@ type Env struct {
 
 	nextReplyTag Tag
 	sends        int64 // messages sent by this rank
+
+	// Reliable-transport state, allocated lazily and only when the run has
+	// fault injection (or Transport.Enabled) turned on.
+	relS   []*relSender // per-destination go-back-N senders
+	relExp []int64      // per-source next expected sequence number
 }
 
 // Rank returns the processor's global rank in [0, Size).
@@ -101,6 +106,13 @@ func (e *Env) Send(dst int, tag Tag, data any, bytes int64) {
 	}
 	e.sends++
 	m := Msg{From: e.rank, Tag: tag, Data: data, Bytes: bytes}
+	if e.rt.rel != nil && !e.rt.topo.SameCluster(e.rank, dst) {
+		// Wide-area traffic under fault injection goes through the reliable
+		// channel; relSend may block while the go-back-N window is full.
+		e.relSend(dst, m, bytes)
+		e.p.Compute(e.rt.net.Params().SendOverhead)
+		return
+	}
 	dmb := &e.rt.envs[dst].mb
 	e.rt.net.Send(e.rank, dst, bytes, func() { dmb.deliver(m) })
 	// The sender itself is occupied for the software send overhead.

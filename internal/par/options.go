@@ -1,6 +1,7 @@
 package par
 
 import (
+	"twolayer/internal/faults"
 	"twolayer/internal/network"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
@@ -20,6 +21,15 @@ type Options struct {
 	Configure func(*network.Network)
 	// Trace, if non-nil, collects every message and compute span.
 	Trace *trace.Collector
+	// Faults injects deterministic wide-area faults (drops, duplicates,
+	// reordering jitter, outages). The zero value disables injection and
+	// leaves every code path byte-identical to a fault-free run. Non-zero
+	// faults automatically route wide-area sends through the reliable
+	// go-back-N channel.
+	Faults faults.Params
+	// Transport tunes the reliable channel; the zero value uses defaults.
+	// Transport.Enabled turns the channel on even without faults.
+	Transport Transport
 }
 
 // RunWith executes job like Run, with extended options.

@@ -1,0 +1,274 @@
+package par
+
+import (
+	"fmt"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/trace"
+)
+
+// Transport tunes the go-back-N reliable channel that guards wide-area
+// traffic when fault injection is active. The zero value selects defaults;
+// set Enabled to use the reliable layer even on a fault-free network
+// (useful for measuring pure protocol overhead).
+type Transport struct {
+	// Enabled forces the reliable layer on even when no faults are
+	// injected. With faults enabled the layer is always on.
+	Enabled bool
+	// Window is the go-back-N window: the maximum number of unacknowledged
+	// messages in flight per (sender, receiver) pair. Default 32.
+	Window int
+	// MaxRetries caps consecutive retransmission rounds without progress;
+	// exceeding it fails the channel and surfaces a run error. Default 24.
+	MaxRetries int
+	// RTOMin is a floor on the retransmission timeout. Default 0 (the
+	// timeout is derived from the network parameters alone).
+	RTOMin sim.Time
+	// AckBytes is the simulated wire size of an acknowledgement. Default 16.
+	AckBytes int64
+}
+
+func (t Transport) withDefaults() Transport {
+	if t.Window <= 0 {
+		t.Window = 32
+	}
+	if t.MaxRetries <= 0 {
+		t.MaxRetries = 24
+	}
+	if t.AckBytes <= 0 {
+		t.AckBytes = 16
+	}
+	return t
+}
+
+// relConfig is the run-wide reliable-transport state: resolved settings,
+// protocol counters, and any channel failures (surfaced as run errors).
+type relConfig struct {
+	Transport
+	rtoBase sim.Time
+	stats   trace.TransportStats
+	errs    []error
+}
+
+// rtoBase is a generous estimate of a wide-area round trip used to seed the
+// retransmission timeout: data crosses two intra-cluster legs and the WAN
+// leg, the ack comes back the same way, doubled for queueing slack. The
+// per-frame transmission time is added when the timer is armed.
+func rtoBase(p network.Params) sim.Time {
+	oneWay := 2*p.IntraLatency + p.WANLatency + p.WANPerMessage +
+		p.SendOverhead + p.RecvOverhead +
+		sim.Time(p.WANMessageRTTFactor*float64(2*p.WANLatency))
+	return 4 * oneWay
+}
+
+// relFrame is one unacknowledged message in a sender's window.
+type relFrame struct {
+	m     Msg
+	bytes int64
+}
+
+// relSender is the go-back-N sending side for one (source rank, destination
+// rank) pair. It is owned by the source Env's process: only that process
+// blocks on the window, so the single-waiter Cond suffices.
+type relSender struct {
+	e   *Env
+	dst int
+
+	base, next int64 // base = oldest unacked seq, next = next seq to assign
+	window     []relFrame
+	retries    int    // consecutive timeout rounds without ack progress
+	timerGen   uint64 // invalidates scheduled timeouts after acks/re-arms
+	timerOn    bool
+	full       sim.Cond
+	failed     bool
+}
+
+// BlockReason implements sim.BlockExplainer for deadlock diagnostics.
+func (s *relSender) BlockReason() string {
+	return fmt.Sprintf("reliable send window to rank %d full (%d unacked from seq %d)",
+		s.dst, len(s.window), s.base)
+}
+
+// relFor returns (creating on first use) the reliable sender for dst.
+func (e *Env) relFor(dst int) *relSender {
+	if e.relS == nil {
+		e.relS = make([]*relSender, e.rt.topo.Procs())
+	}
+	s := e.relS[dst]
+	if s == nil {
+		s = &relSender{e: e, dst: dst}
+		e.relS[dst] = s
+	}
+	return s
+}
+
+// relSend queues m on the reliable channel to dst, blocking while the
+// window is full. Called from the sending process's context.
+func (e *Env) relSend(dst int, m Msg, bytes int64) {
+	s := e.relFor(dst)
+	cfg := e.rt.rel
+	// A failed channel never acks, so a full window blocks forever; the
+	// deadlock then surfaces alongside the channel's own error.
+	for len(s.window) >= cfg.Window {
+		s.full.WaitExplained(e.p, s)
+	}
+	seq := s.next
+	s.next++
+	s.window = append(s.window, relFrame{m: m, bytes: bytes})
+	s.transmit(seq, s.window[len(s.window)-1], network.ClassData)
+	if !s.timerOn {
+		s.arm()
+	}
+}
+
+// transmit puts one frame on the wire; delivery lands in the receiver's
+// reliable layer, not directly in the mailbox.
+func (s *relSender) transmit(seq int64, f relFrame, class network.MsgClass) {
+	if s.failed {
+		return
+	}
+	rt := s.e.rt
+	src, dst := s.e.rank, s.dst
+	de := rt.envs[dst]
+	m := f.m
+	rt.net.SendClass(src, dst, f.bytes, class, func() {
+		de.relDeliver(src, seq, m)
+	})
+}
+
+// rto returns the current retransmission timeout: the base round trip plus
+// the oldest frame's (and its ack's) transmission time, doubled per
+// fruitless retry round.
+func (s *relSender) rto() sim.Time {
+	cfg := s.e.rt.rel
+	d := cfg.rtoBase
+	if len(s.window) > 0 {
+		p := s.e.rt.net.Params()
+		d += 2 * sim.TransmissionTime(s.window[0].bytes+cfg.AckBytes, p.WANBandwidth)
+	}
+	shift := s.retries
+	if shift > 10 {
+		shift = 10 // beyond 2^10 the backoff dwarfs any queueing delay
+	}
+	d <<= shift
+	if s.retries > 0 {
+		// Spread each backed-off timeout by a deterministic pseudo-random
+		// fraction of itself. Once the shift caps, a constant retry cadence
+		// can phase-lock with a periodic link outage — every probe (or its
+		// ack) landing inside the blackout window, forever — so successive
+		// probes must sample different outage phases.
+		h := mix64(uint64(s.e.rank)<<40 ^ uint64(s.dst)<<20 ^
+			uint64(s.base)<<8 ^ uint64(s.retries))
+		d += sim.Time(float64(d) * (float64(h>>11) / (1 << 53)))
+	}
+	if d < cfg.RTOMin {
+		d = cfg.RTOMin
+	}
+	return d
+}
+
+// mix64 is the splitmix64 finalizer (same construction package faults
+// uses): a cheap, well-distributed hash for the timeout spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// arm schedules (or reschedules) the retransmission timer for the current
+// window. Any previously scheduled timeout is invalidated by the generation
+// counter.
+func (s *relSender) arm() {
+	s.timerGen++
+	gen := s.timerGen
+	s.timerOn = true
+	k := s.e.rt.k
+	k.Schedule(k.Now()+s.rto(), func() { s.onTimeout(gen) })
+}
+
+// onTimeout fires when the oldest frame went unacknowledged for a full RTO:
+// go-back-N resends the entire window with exponential backoff. Exceeding
+// the retry cap fails the channel and records a run error.
+func (s *relSender) onTimeout(gen uint64) {
+	if gen != s.timerGen || s.failed || len(s.window) == 0 {
+		return // stale timer, or everything got acked meanwhile
+	}
+	s.timerOn = false
+	cfg := s.e.rt.rel
+	cfg.stats.Timeouts++
+	s.retries++
+	if s.retries > cfg.MaxRetries {
+		s.failed = true
+		cfg.errs = append(cfg.errs, fmt.Errorf(
+			"par: reliable channel %d->%d failed: no ack after %d retransmission rounds (seq %d, %d frames unacked)",
+			s.e.rank, s.dst, cfg.MaxRetries, s.base, len(s.window)))
+		return
+	}
+	for i := range s.window {
+		cfg.stats.Retransmits++
+		s.transmit(s.base+int64(i), s.window[i], network.ClassRetrans)
+	}
+	s.arm()
+}
+
+// relDeliver is the receiving side: accept in-order frames, discard
+// duplicates and gaps (go-back-N keeps no out-of-order buffer), and answer
+// every frame with a cumulative ack so lost acks are repaired by later
+// traffic. Runs in kernel context.
+func (e *Env) relDeliver(src int, seq int64, m Msg) {
+	cfg := e.rt.rel
+	if e.relExp == nil {
+		e.relExp = make([]int64, e.rt.topo.Procs())
+	}
+	switch exp := e.relExp[src]; {
+	case seq == exp:
+		e.relExp[src] = exp + 1
+		e.mb.deliver(m)
+	case seq < exp:
+		cfg.stats.Duplicates++ // retransmission of something already delivered
+	default:
+		cfg.stats.OutOfOrder++ // gap: an earlier frame was lost or jittered past
+	}
+	cum := e.relExp[src] - 1
+	if cum < 0 {
+		return // nothing received in order yet; an ack would carry no information
+	}
+	cfg.stats.Acks++
+	se := e.rt.envs[src]
+	rank := e.rank
+	e.rt.net.SendClass(rank, src, cfg.AckBytes, network.ClassAck, func() {
+		se.relAck(rank, cum)
+	})
+}
+
+// relAck processes a cumulative acknowledgement from dst covering every
+// sequence number up to cum. Runs in kernel context.
+func (e *Env) relAck(from int, cum int64) {
+	if e.relS == nil {
+		return
+	}
+	s := e.relS[from]
+	if s == nil || s.failed || cum < s.base {
+		return // duplicate or stale ack
+	}
+	n := cum - s.base + 1
+	if n > int64(len(s.window)) {
+		n = int64(len(s.window)) // acks beyond the window cannot happen, but stay safe
+	}
+	s.window = append(s.window[:0], s.window[n:]...)
+	s.base += n
+	s.retries = 0
+	if len(s.window) > 0 {
+		s.arm()
+	} else {
+		s.timerGen++ // cancel the pending timer
+		s.timerOn = false
+	}
+	if s.full.Waiting() {
+		s.full.Signal()
+	}
+}

@@ -1,9 +1,12 @@
 package par
 
 import (
+	"errors"
+	"fmt"
 	"strconv"
 	"sync"
 
+	"twolayer/internal/faults"
 	"twolayer/internal/network"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
@@ -18,6 +21,7 @@ type runtime struct {
 	envs   []*Env
 	tracer *trace.Collector
 	seed   int64
+	rel    *relConfig // nil unless the reliable transport is active
 }
 
 // rankNames caches the diagnostic process names ("rank0", "rank1", ...)
@@ -63,6 +67,12 @@ type Result struct {
 	// Events is the number of simulator events fired, a measure of
 	// simulation effort.
 	Events uint64
+	// Transport counts reliable-channel protocol activity: timeouts,
+	// retransmissions, acks. Zero when fault injection is off.
+	Transport trace.TransportStats
+	// Faults counts the wide-area faults the network injected. Zero when
+	// fault injection is off.
+	Faults network.FaultStats
 }
 
 // Speedup returns sequentialTime / Elapsed.
@@ -81,7 +91,22 @@ func Run(topo *topology.Topology, params network.Params, seed int64, job Job) (R
 	return runSim(topo, Options{Params: params, Seed: seed}, job)
 }
 
+// msgKind maps the network's message class to the trace vocabulary (trace
+// cannot import network, so the mirror enums are bridged here).
+func msgKind(c network.MsgClass) trace.MsgKind {
+	switch c {
+	case network.ClassRetrans:
+		return trace.KindRetrans
+	case network.ClassAck:
+		return trace.KindAck
+	}
+	return trace.KindData
+}
+
 func runSim(topo *topology.Topology, opts Options, job Job) (Result, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return Result{}, fmt.Errorf("par: invalid fault parameters: %w", err)
+	}
 	k := sim.NewKernel()
 	net := network.New(k, topo, opts.Params)
 	if opts.Configure != nil {
@@ -93,10 +118,20 @@ func runSim(topo *topology.Topology, opts Options, job Job) (Result, error) {
 			tr.RecordMessage(trace.Message{
 				Src: ev.Src, Dst: ev.Dst, Bytes: ev.Bytes,
 				Sent: ev.Sent, Delivered: ev.Delivered, WAN: ev.WAN,
+				Kind: msgKind(ev.Class), Dup: ev.Duplicate, Dropped: ev.Dropped,
 			})
 		})
 	}
 	rt := &runtime{k: k, topo: topo, net: net, tracer: opts.Trace, seed: opts.Seed}
+	if opts.Faults.Enabled() || opts.Transport.Enabled {
+		if opts.Faults.Enabled() {
+			net.SetFaults(faults.NewPlan(opts.Faults))
+		}
+		rt.rel = &relConfig{
+			Transport: opts.Transport.withDefaults(),
+			rtoBase:   rtoBase(net.Params()),
+		}
+	}
 	rt.envs = make([]*Env, topo.Procs())
 	procs := make([]*sim.Proc, topo.Procs())
 	for r := 0; r < topo.Procs(); r++ {
@@ -108,7 +143,20 @@ func runSim(topo *topology.Topology, opts Options, job Job) (Result, error) {
 		})
 	}
 	var res Result
-	if err := k.Run(); err != nil {
+	err := k.Run()
+	if rt.rel != nil {
+		res.Transport = rt.rel.stats
+		if opts.Trace != nil {
+			opts.Trace.RecordTransport(rt.rel.stats)
+		}
+		if len(rt.rel.errs) > 0 {
+			// A failed reliable channel usually also deadlocks the program;
+			// surface the root cause ahead of the secondary deadlock.
+			err = errors.Join(append(append([]error{}, rt.rel.errs...), err)...)
+		}
+	}
+	res.Faults = net.FaultStats()
+	if err != nil {
 		return res, err
 	}
 	res.PerProcFinish = make([]sim.Time, len(procs))

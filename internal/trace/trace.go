@@ -17,6 +17,47 @@ import (
 	"twolayer/internal/sim"
 )
 
+// MsgKind labels a message's role: an application payload, a
+// reliable-transport retransmission of one, or a transport acknowledgement.
+// It mirrors network.MsgClass without importing it (trace sits below the
+// runtime layers that produce events).
+type MsgKind uint8
+
+const (
+	// KindData is a first transmission of an application payload.
+	KindData MsgKind = iota
+	// KindRetrans is a reliable-transport retransmission.
+	KindRetrans
+	// KindAck is a reliable-transport acknowledgement.
+	KindAck
+)
+
+// String names the kind as used in the JSON export.
+func (k MsgKind) String() string {
+	switch k {
+	case KindRetrans:
+		return "retrans"
+	case KindAck:
+		return "ack"
+	default:
+		return "data"
+	}
+}
+
+// kindFromString parses the JSON export representation; the empty string is
+// KindData (the export omits the default).
+func kindFromString(s string) (MsgKind, error) {
+	switch s {
+	case "", "data":
+		return KindData, nil
+	case "retrans":
+		return KindRetrans, nil
+	case "ack":
+		return KindAck, nil
+	}
+	return 0, fmt.Errorf("trace: unknown message kind %q", s)
+}
+
 // Message is one recorded message.
 type Message struct {
 	Src, Dst  int
@@ -25,6 +66,32 @@ type Message struct {
 	Sent      sim.Time
 	Delivered sim.Time
 	WAN       bool
+	// Kind separates payloads from transport retransmissions and acks so
+	// aggregate views can count logical traffic exactly once.
+	Kind MsgKind
+	// Dup marks the injected second copy of a duplicated message.
+	Dup bool
+	// Dropped marks a message lost to fault injection (never delivered;
+	// Delivered holds the loss time).
+	Dropped bool
+}
+
+// TransportStats counts reliable-transport protocol activity during a run
+// (see package par); all counters are zero on runs without fault injection.
+type TransportStats struct {
+	// Timeouts is the number of retransmission-timer expiries.
+	Timeouts int64 `json:"timeouts"`
+	// Retransmits is the number of frames resent (go-back-N resends every
+	// unacked frame per timeout, so this is >= Timeouts when loss occurs).
+	Retransmits int64 `json:"retransmits"`
+	// Acks is the number of acknowledgement messages sent.
+	Acks int64 `json:"acks"`
+	// Duplicates is the number of frames the receiver discarded as already
+	// delivered (injected duplicates and spurious retransmissions).
+	Duplicates int64 `json:"duplicates"`
+	// OutOfOrder is the number of frames the receiver discarded for
+	// arriving ahead of a gap (go-back-N accepts only in-order frames).
+	OutOfOrder int64 `json:"out_of_order"`
 }
 
 // Span is one recorded computation interval on a rank.
@@ -40,6 +107,9 @@ type Collector struct {
 	Procs    int
 	Messages []Message
 	Spans    []Span
+	// Transport holds the reliable-transport counters of the run, recorded
+	// once by the runtime after the simulation completes.
+	Transport TransportStats
 }
 
 // NewCollector creates a collector for a machine with procs processors.
@@ -53,13 +123,24 @@ func (c *Collector) RecordMessage(m Message) { c.Messages = append(c.Messages, m
 // RecordSpan appends a computation span.
 func (c *Collector) RecordSpan(s Span) { c.Spans = append(c.Spans, s) }
 
-// CommMatrix returns bytes sent from each rank to each rank.
+// RecordTransport stores the run's reliable-transport counters.
+func (c *Collector) RecordTransport(ts TransportStats) { c.Transport = ts }
+
+// CommMatrix returns the logical application traffic from each rank to each
+// rank: every payload counted exactly once by its first transmission.
+// Retransmissions, injected duplicates and transport acks are protocol
+// overhead, not communication structure, so they never double-count here
+// — the matrix of a faulty run matches its fault-free twin. (WAN link
+// statistics, in contrast, do charge every copy on the wire.)
 func (c *Collector) CommMatrix() [][]int64 {
 	m := make([][]int64, c.Procs)
 	for i := range m {
 		m[i] = make([]int64, c.Procs)
 	}
 	for _, msg := range c.Messages {
+		if msg.Kind != KindData || msg.Dup {
+			continue
+		}
 		m[msg.Src][msg.Dst] += msg.Bytes
 	}
 	return m
@@ -80,10 +161,13 @@ func (c *Collector) Utilization(horizon sim.Time) []float64 {
 	return out
 }
 
-// Summary aggregates the trace.
+// Summary aggregates the trace. Message/byte counts cover delivered wire
+// traffic of every kind (payloads, retransmissions, acks); Dropped counts
+// messages lost to fault injection, which contribute to no other statistic.
 type Summary struct {
 	Messages       int
 	WANMessages    int
+	Dropped        int
 	Bytes          int64
 	WANBytes       int64
 	MeanTransit    sim.Time
@@ -96,6 +180,10 @@ func (c *Collector) Summarize() Summary {
 	var s Summary
 	var transit, wanTransit sim.Time
 	for _, m := range c.Messages {
+		if m.Dropped {
+			s.Dropped++
+			continue
+		}
 		s.Messages++
 		s.Bytes += m.Bytes
 		d := m.Delivered - m.Sent
@@ -244,25 +332,45 @@ func (c *Collector) TopPairs(k int) []struct {
 }
 
 // jsonEvent is the export schema: one line per event, with a kind
-// discriminator, suitable for external tools.
+// discriminator, suitable for external tools. The first line is a "meta"
+// record (processor count), then messages and spans in record order, then
+// — when any counter is non-zero — one "transport" record.
 type jsonEvent struct {
-	Kind    string `json:"kind"` // "msg" or "span"
-	Src     int    `json:"src,omitempty"`
-	Dst     int    `json:"dst,omitempty"`
-	Rank    int    `json:"rank,omitempty"`
-	Bytes   int64  `json:"bytes,omitempty"`
-	WAN     bool   `json:"wan,omitempty"`
-	StartNs int64  `json:"start_ns"`
-	EndNs   int64  `json:"end_ns"`
+	Kind      string          `json:"kind"` // "meta", "msg", "span" or "transport"
+	Procs     int             `json:"procs,omitempty"`
+	Src       int             `json:"src,omitempty"`
+	Dst       int             `json:"dst,omitempty"`
+	Rank      int             `json:"rank,omitempty"`
+	Bytes     int64           `json:"bytes,omitempty"`
+	WAN       bool            `json:"wan,omitempty"`
+	Class     string          `json:"class,omitempty"` // "retrans"/"ack"; empty = payload
+	Dup       bool            `json:"dup,omitempty"`
+	Dropped   bool            `json:"dropped,omitempty"`
+	StartNs   int64           `json:"start_ns,omitempty"`
+	EndNs     int64           `json:"end_ns,omitempty"`
+	Transport *TransportStats `json:"transport,omitempty"`
 }
 
-// WriteJSON streams the trace as JSON Lines, messages then spans, each in
-// record order — the interchange format for external analysis or plotting.
+// msgClassJSON renders the kind for the export, omitting the payload
+// default so fault-free exports stay minimal.
+func msgClassJSON(k MsgKind) string {
+	if k == KindData {
+		return ""
+	}
+	return k.String()
+}
+
+// WriteJSON streams the trace as JSON Lines — the interchange format for
+// external analysis or plotting. ReadJSON parses it back losslessly.
 func (c *Collector) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonEvent{Kind: "meta", Procs: c.Procs}); err != nil {
+		return err
+	}
 	for _, m := range c.Messages {
 		if err := enc.Encode(jsonEvent{
 			Kind: "msg", Src: m.Src, Dst: m.Dst, Bytes: m.Bytes, WAN: m.WAN,
+			Class: msgClassJSON(m.Kind), Dup: m.Dup, Dropped: m.Dropped,
 			StartNs: int64(m.Sent), EndNs: int64(m.Delivered),
 		}); err != nil {
 			return err
@@ -276,5 +384,53 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 			return err
 		}
 	}
+	if c.Transport != (TransportStats{}) {
+		ts := c.Transport
+		if err := enc.Encode(jsonEvent{Kind: "transport", Transport: &ts}); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// ReadJSON parses a WriteJSON stream back into a Collector. The round trip
+// is lossless: messages, spans and the transport counters all survive
+// bit-for-bit. Unknown record kinds are an error, so schema drift surfaces
+// instead of silently dropping data.
+func ReadJSON(r io.Reader) (*Collector, error) {
+	dec := json.NewDecoder(r)
+	c := &Collector{}
+	for {
+		var e jsonEvent
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return c, nil
+			}
+			return nil, fmt.Errorf("trace: reading JSON stream: %w", err)
+		}
+		switch e.Kind {
+		case "meta":
+			c.Procs = e.Procs
+		case "msg":
+			kind, err := kindFromString(e.Class)
+			if err != nil {
+				return nil, err
+			}
+			c.Messages = append(c.Messages, Message{
+				Src: e.Src, Dst: e.Dst, Bytes: e.Bytes, WAN: e.WAN,
+				Kind: kind, Dup: e.Dup, Dropped: e.Dropped,
+				Sent: sim.Time(e.StartNs), Delivered: sim.Time(e.EndNs),
+			})
+		case "span":
+			c.Spans = append(c.Spans, Span{
+				Rank: e.Rank, Start: sim.Time(e.StartNs), End: sim.Time(e.EndNs),
+			})
+		case "transport":
+			if e.Transport != nil {
+				c.Transport = *e.Transport
+			}
+		default:
+			return nil, fmt.Errorf("trace: unknown record kind %q", e.Kind)
+		}
+	}
 }

@@ -116,20 +116,130 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if len(lines) != 5 { // 3 messages + 2 spans
+	if len(lines) != 6 { // meta + 3 messages + 2 spans
 		t.Fatalf("%d lines", len(lines))
 	}
 	var ev map[string]any
-	if err := json.Unmarshal([]byte(lines[2]), &ev); err != nil {
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["kind"] != "meta" || ev["procs"] != float64(4) {
+		t.Errorf("meta %v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &ev); err != nil {
 		t.Fatal(err)
 	}
 	if ev["kind"] != "msg" || ev["wan"] != true {
 		t.Errorf("event %v", ev)
 	}
-	if err := json.Unmarshal([]byte(lines[4]), &ev); err != nil {
+	if err := json.Unmarshal([]byte(lines[5]), &ev); err != nil {
 		t.Fatal(err)
 	}
 	if ev["kind"] != "span" || ev["rank"] != float64(1) {
 		t.Errorf("span %v", ev)
+	}
+}
+
+// faultySample is a trace with reliable-transport traffic on top of the
+// logical payloads: a retransmission of a dropped payload, an injected
+// duplicate, and acks.
+func faultySample() *Collector {
+	c := NewCollector(4)
+	// Payload 0->1, dropped in flight, then retransmitted successfully.
+	c.RecordMessage(Message{Src: 0, Dst: 1, Bytes: 100, Sent: 0, Delivered: sim.Millisecond, WAN: true, Dropped: true})
+	c.RecordMessage(Message{Src: 0, Dst: 1, Bytes: 100, Sent: 2 * sim.Millisecond, Delivered: 3 * sim.Millisecond, WAN: true, Kind: KindRetrans})
+	// Payload 2->3, duplicated by the network: both copies delivered.
+	c.RecordMessage(Message{Src: 2, Dst: 3, Bytes: 500, Sent: 0, Delivered: 4 * sim.Millisecond, WAN: true})
+	c.RecordMessage(Message{Src: 2, Dst: 3, Bytes: 500, Sent: 0, Delivered: 6 * sim.Millisecond, WAN: true, Dup: true})
+	// Acks flowing back.
+	c.RecordMessage(Message{Src: 1, Dst: 0, Bytes: 16, Sent: 3 * sim.Millisecond, Delivered: 5 * sim.Millisecond, WAN: true, Kind: KindAck})
+	c.RecordMessage(Message{Src: 3, Dst: 2, Bytes: 16, Sent: 4 * sim.Millisecond, Delivered: 7 * sim.Millisecond, WAN: true, Kind: KindAck})
+	c.RecordTransport(TransportStats{Timeouts: 1, Retransmits: 1, Acks: 2, Duplicates: 1})
+	return c
+}
+
+// TestCommMatrixNoDoubleCount: the communication matrix counts each logical
+// payload exactly once — retransmissions, duplicates and acks are protocol
+// overhead, not communication structure.
+func TestCommMatrixNoDoubleCount(t *testing.T) {
+	m := faultySample().CommMatrix()
+	if m[0][1] != 100 {
+		t.Errorf("matrix[0][1] = %d, want 100 (retransmission double-counted?)", m[0][1])
+	}
+	if m[2][3] != 500 {
+		t.Errorf("matrix[2][3] = %d, want 500 (duplicate double-counted?)", m[2][3])
+	}
+	if m[1][0] != 0 || m[3][2] != 0 {
+		t.Errorf("acks leaked into the matrix: %v", m)
+	}
+}
+
+// TestSummarizeDropped: dropped messages are counted apart and contribute
+// to no transit statistic.
+func TestSummarizeDropped(t *testing.T) {
+	s := faultySample().Summarize()
+	if s.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped)
+	}
+	if s.Messages != 5 {
+		t.Errorf("Messages = %d, want 5 delivered", s.Messages)
+	}
+	if s.Bytes != 100+500+500+16+16 {
+		t.Errorf("Bytes = %d", s.Bytes)
+	}
+}
+
+// TestJSONRoundTripLossless: WriteJSON then ReadJSON reproduces the
+// collector bit-for-bit, including the transport retry counters.
+func TestJSONRoundTripLossless(t *testing.T) {
+	for name, c := range map[string]*Collector{"clean": sample(), "faulty": faultySample()} {
+		t.Run(name, func(t *testing.T) {
+			var b strings.Builder
+			if err := c.WriteJSON(&b); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadJSON(strings.NewReader(b.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Procs != c.Procs {
+				t.Errorf("Procs = %d, want %d", got.Procs, c.Procs)
+			}
+			if len(got.Messages) != len(c.Messages) {
+				t.Fatalf("%d messages, want %d", len(got.Messages), len(c.Messages))
+			}
+			for i := range c.Messages {
+				want := c.Messages[i]
+				want.Tag = 0 // Tag is not exported (receives match it; traces do not)
+				if got.Messages[i] != want {
+					t.Errorf("message %d = %+v, want %+v", i, got.Messages[i], want)
+				}
+			}
+			for i := range c.Spans {
+				if got.Spans[i] != c.Spans[i] {
+					t.Errorf("span %d = %+v, want %+v", i, got.Spans[i], c.Spans[i])
+				}
+			}
+			if got.Transport != c.Transport {
+				t.Errorf("transport counters = %+v, want %+v", got.Transport, c.Transport)
+			}
+			// A second write of the parsed collector is byte-identical.
+			var b2 strings.Builder
+			if err := got.WriteJSON(&b2); err != nil {
+				t.Fatal(err)
+			}
+			if b2.String() != b.String() {
+				t.Error("re-serialized stream differs")
+			}
+		})
+	}
+}
+
+func TestReadJSONRejectsUnknownKind(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"kind":"mystery"}`)); err == nil {
+		t.Error("unknown record kind accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"kind":"msg","class":"warp"}`)); err == nil {
+		t.Error("unknown message class accepted")
 	}
 }

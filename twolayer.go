@@ -44,6 +44,7 @@ import (
 	"twolayer/internal/collective"
 	"twolayer/internal/core"
 	"twolayer/internal/dsm"
+	"twolayer/internal/faults"
 	"twolayer/internal/micro"
 	"twolayer/internal/mpi"
 	"twolayer/internal/network"
@@ -103,6 +104,15 @@ type AppInstance = apps.Instance
 
 // Experiment is one configured sensitivity-study run.
 type Experiment = core.Experiment
+
+// FaultParams configures deterministic wide-area fault injection (message
+// loss, duplication, reordering jitter, periodic outages) for
+// Experiment.Faults; the zero value injects nothing. See internal/faults.
+type FaultParams = faults.Params
+
+// TransportStats are the go-back-N reliable-transport counters a
+// fault-injected run reports (Result.Transport).
+type TransportStats = trace.TransportStats
 
 // Machine construction.
 var (
