@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench chaos
+.PHONY: build test vet race check bench bench-runpath chaos
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ check: build vet test race
 # bench regenerates results/BENCH_kernel.json (median of 5 runs).
 bench:
 	$(GO) run ./cmd/bench -o results/BENCH_kernel.json -repeat 5
+
+# bench-runpath regenerates results/BENCH_runpath.json: the steady-state
+# run path with allocator counters (ns/op, B/op, allocs/op, GC cycles).
+# lan_send_recv must report 0 allocs/op.
+bench-runpath:
+	$(GO) run ./cmd/bench -runpath -o results/BENCH_runpath.json -repeat 5
 
 # chaos regenerates results/chaos.csv: the fault-injection sensitivity
 # sweep at paper scale (deterministic; reruns hit the run cache).

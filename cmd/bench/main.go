@@ -1,15 +1,19 @@
 // Command bench measures the simulator's hot paths and writes the numbers
-// as JSON for tracking across revisions. It has three modes:
+// as JSON for tracking across revisions. It has four modes:
 //
 //	bench                  # simulator kernel: event loop, handoffs, full run
 //	bench -apps            # application compute kernels (ns per force pair,
 //	                       # butterfly, row relaxation, node expansion)
+//	bench -runpath         # steady-state run path: ns/op, B/op, allocs/op,
+//	                       # GC cycles for send→deliver→receive and traced runs
 //	bench -figures         # end-to-end: cold vs disk-cached Figure 3 sweep
 //
 // Example:
 //
 //	bench -o BENCH_kernel.json -repeat 5
 //	bench -apps -o results/BENCH_apps.json
+//	bench -runpath -o results/BENCH_runpath.json
+//	bench -runpath -only lan_send_recv,fft_small_das
 //	bench -figures -o results/BENCH_figures.json -prev 53.9
 package main
 
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"twolayer/internal/apps"
@@ -148,6 +153,38 @@ type bench struct {
 	fn   func() (uint64, error)
 }
 
+// filterBenches restricts a suite to the comma-separated names in only.
+// Unknown names are an error listing the suite's valid choices — the same
+// fail-fast contract cmd/micro applies to application names — so a typo in
+// a CI job fails the job instead of silently benchmarking nothing.
+func filterBenches[B any](benches []B, nameOf func(B) string, only string) ([]B, error) {
+	if only == "" {
+		return benches, nil
+	}
+	byName := make(map[string]B, len(benches))
+	valid := make([]string, 0, len(benches))
+	for _, bm := range benches {
+		byName[nameOf(bm)] = bm
+		valid = append(valid, nameOf(bm))
+	}
+	var picked []B
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		bm, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q; valid names: %s", name, strings.Join(valid, ", "))
+		}
+		picked = append(picked, bm)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only %q selects no benchmarks", only)
+	}
+	return picked, nil
+}
+
 // kernelBenches are the simulator hot paths (the default mode).
 func kernelBenches(chain int) []bench {
 	return []bench{
@@ -260,12 +297,15 @@ func writeOut(out string, v any) error {
 
 func main() {
 	var (
-		out      = flag.String("o", "", "output JSON file (\"-\" for stdout; default depends on mode)")
-		repeat   = flag.Int("repeat", 5, "runs per benchmark; the median is kept")
-		chain    = flag.Int("n", 2_000_000, "chain length for the kernel and handoff microbenchmarks")
-		appsMode = flag.Bool("apps", false, "benchmark the application compute kernels instead")
-		figMode  = flag.Bool("figures", false, "benchmark cold vs disk-cached Figure 3 regeneration instead")
-		prev     = flag.Float64("prev", 53.9, "previous revision's cold Figure 3 seconds (-figures baseline)")
+		out         = flag.String("o", "", "output JSON file (\"-\" for stdout; default depends on mode)")
+		repeat      = flag.Int("repeat", 5, "runs per benchmark; the median is kept")
+		chain       = flag.Int("n", 2_000_000, "chain length for the kernel and handoff microbenchmarks")
+		cycles      = flag.Int("cycles", 200_000, "send+recv cycles per -runpath ping-pong run")
+		only        = flag.String("only", "", "comma-separated benchmark names to run (kernel, -apps and -runpath modes)")
+		appsMode    = flag.Bool("apps", false, "benchmark the application compute kernels instead")
+		runpathMode = flag.Bool("runpath", false, "benchmark the steady-state run path (ns/op, B/op, allocs/op, GC cycles) instead")
+		figMode     = flag.Bool("figures", false, "benchmark cold vs disk-cached Figure 3 regeneration instead")
+		prev        = flag.Float64("prev", 53.9, "previous revision's cold Figure 3 seconds (-figures baseline)")
 	)
 	flag.Parse()
 	if *repeat < 1 {
@@ -276,8 +316,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench: -n must be at least 1")
 		os.Exit(2)
 	}
-	if *appsMode && *figMode {
-		fmt.Fprintln(os.Stderr, "bench: -apps and -figures are mutually exclusive")
+	if *cycles < 1 {
+		fmt.Fprintln(os.Stderr, "bench: -cycles must be at least 1")
+		os.Exit(2)
+	}
+	if *prev <= 0 {
+		fmt.Fprintln(os.Stderr, "bench: -prev must be positive")
+		os.Exit(2)
+	}
+	modes := 0
+	for _, on := range []bool{*appsMode, *runpathMode, *figMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "bench: -apps, -runpath and -figures are mutually exclusive")
+		os.Exit(2)
+	}
+	if *figMode && *only != "" {
+		fmt.Fprintln(os.Stderr, "bench: -only does not apply to -figures")
 		os.Exit(2)
 	}
 
@@ -300,6 +358,36 @@ func main() {
 		return
 	}
 
+	if *runpathMode {
+		if *out == "" {
+			*out = "BENCH_runpath.json"
+		}
+		benches, err := filterBenches(runpathBenches(), func(b runpathBench) string { return b.name }, *only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		report := struct {
+			Unit    string               `json:"unit"`
+			Results []RunpathMeasurement `json:"results"`
+		}{Unit: "median over runs after one warm-up; scaled benchmarks report marginal cost (run at n vs 2n cycles), full FFT runs report whole-run cost; ops are events for process_handoff and the FFT runs, send+recv cycles for the ping-pongs"}
+		for _, bm := range benches {
+			m, err := measureRunpath(bm, *repeat, *cycles)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%-24s %10d ops  %9.2f ns/op  %8.2f B/op  %7.4f allocs/op  %3d GC\n",
+				m.Name, m.Ops, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.GCCycles)
+			report.Results = append(report.Results, m)
+		}
+		if err := writeOut(*out, report); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	benches := kernelBenches(*chain)
 	unit := "median over runs; events are simulator events"
 	if *appsMode {
@@ -310,6 +398,11 @@ func main() {
 		}
 	} else if *out == "" {
 		*out = "BENCH_kernel.json"
+	}
+	benches, err := filterBenches(benches, func(b bench) string { return b.name }, *only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
 	}
 	report := struct {
 		Unit    string        `json:"unit"`

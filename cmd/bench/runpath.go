@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/core"
+	"twolayer/internal/faults"
+	"twolayer/internal/network"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+	"twolayer/internal/trace"
+)
+
+// RunpathMeasurement is one run-path benchmark's result. Unlike the kernel
+// suite it records the allocator's view as well as wall time: bytes and
+// heap allocations per operation and the garbage-collection cycles the
+// median run triggered. The zero-allocation contract makes B/op and
+// allocs/op exact regression gates, not just trends.
+type RunpathMeasurement struct {
+	Name        string  `json:"name"`
+	Ops         uint64  `json:"ops_per_run"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	GCCycles    uint64  `json:"gc_cycles"`
+}
+
+// runpathSample is one bracketed execution: operation count, wall time,
+// and the allocator deltas around it.
+type runpathSample struct {
+	ops     uint64
+	elapsed time.Duration
+	bytes   int64
+	allocs  int64
+	gc      uint32
+}
+
+func bracketed(fn func(n int) (uint64, error), n int) (runpathSample, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	ops, err := fn(n)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return runpathSample{}, err
+	}
+	return runpathSample{
+		ops:     ops,
+		elapsed: elapsed,
+		bytes:   int64(after.TotalAlloc - before.TotalAlloc),
+		allocs:  int64(after.Mallocs - before.Mallocs),
+		gc:      after.NumGC - before.NumGC,
+	}, nil
+}
+
+// measureRunpath characterizes one benchmark over repeat rounds after one
+// discarded warm-up, keeping the round with the median ns/op.
+//
+// For a scaled benchmark each round runs fn at n and at 2n and reports the
+// difference divided by the extra operations: per-run setup — kernel
+// construction, goroutine stacks, slab and pool growth to peak depth —
+// cancels exactly, so the numbers are the cost of one additional
+// steady-state operation and a zero-allocation path reports a true 0.00
+// B/op. Unscaled benchmarks (fixed-size full application runs, where setup
+// amortizes over millions of events) report whole-run figures.
+func measureRunpath(b runpathBench, repeat, n int) (RunpathMeasurement, error) {
+	if _, err := b.fn(n); err != nil { // warm-up
+		return RunpathMeasurement{}, fmt.Errorf("%s: %w", b.name, err)
+	}
+	samples := make([]runpathSample, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		s, err := bracketed(b.fn, n)
+		if err != nil {
+			return RunpathMeasurement{}, fmt.Errorf("%s: %w", b.name, err)
+		}
+		if b.scaled {
+			s2, err := bracketed(b.fn, 2*n)
+			if err != nil {
+				return RunpathMeasurement{}, fmt.Errorf("%s: %w", b.name, err)
+			}
+			gc := uint32(0)
+			if s2.gc > s.gc {
+				gc = s2.gc - s.gc
+			}
+			s = runpathSample{
+				ops:     s2.ops - s.ops,
+				elapsed: max(s2.elapsed-s.elapsed, 0),
+				bytes:   max(s2.bytes-s.bytes, 0),
+				allocs:  max(s2.allocs-s.allocs, 0),
+				gc:      gc,
+			}
+		}
+		samples = append(samples, s)
+	}
+	sort.Slice(samples, func(i, j int) bool {
+		return float64(samples[i].elapsed)/float64(samples[i].ops) <
+			float64(samples[j].elapsed)/float64(samples[j].ops)
+	})
+	med := samples[len(samples)/2]
+	return RunpathMeasurement{
+		Name:        b.name,
+		Ops:         med.ops,
+		Runs:        repeat,
+		NsPerOp:     float64(med.elapsed.Nanoseconds()) / float64(med.ops),
+		BytesPerOp:  float64(med.bytes) / float64(med.ops),
+		AllocsPerOp: float64(med.allocs) / float64(med.ops),
+		GCCycles:    uint64(med.gc),
+	}, nil
+}
+
+// handoffHandleChain is the closure-free twin of handoffChain: the wake is
+// scheduled through CallAfter with the Cond as its own event handler, the
+// exact dispatch the runtime's message deliveries now use. Comparing it
+// against the kernel suite's process_handoff isolates what retiring the
+// per-event closures bought.
+func handoffHandleChain(n int) (uint64, error) {
+	k := sim.NewKernel()
+	var ping, pong sim.Cond
+	k.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			k.CallAfter(0, &pong, 0)
+			ping.Wait(p, "ping")
+		}
+	})
+	k.Spawn("pong", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			pong.Wait(p, "pong")
+			k.CallAfter(0, &ping, 0)
+		}
+	})
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	return k.EventsFired(), nil
+}
+
+// pingPongCycles runs n request/reply cycles between two ranks and reports
+// n as its operation count, so per-op numbers mean "one steady-state
+// send→deliver→receive round trip".
+func pingPongCycles(topo *topology.Topology, opts par.Options, n int) (uint64, error) {
+	job := func(e *par.Env) {
+		peer := 1 - e.Rank()
+		if e.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				e.Send(peer, 1, nil, 1024)
+				e.RecvFrom(peer, 2)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				e.RecvFrom(peer, 1)
+				e.Send(peer, 2, nil, 1024)
+			}
+		}
+	}
+	if _, err := par.RunWith(topo, opts, job); err != nil {
+		return 0, err
+	}
+	return uint64(n), nil
+}
+
+// fftEvents runs the Small-scale FFT on the DAS shape — the same
+// configuration as the kernel suite's fft_small_das, so ns/op is directly
+// comparable to its ns/event — optionally feeding every message and span
+// to sink.
+func fftEvents(sink trace.Sink) (uint64, error) {
+	app, err := core.AppByName("FFT")
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.Experiment{
+		App: app, Scale: apps.Small, Optimized: false,
+		Topo: topology.DAS(), Params: network.DefaultParams(),
+		Trace: sink,
+	}.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Events, nil
+}
+
+// runpathBench is one entry of the run-path suite. Scaled benchmarks take
+// the cycle count as a parameter and are measured marginally (n vs 2n);
+// unscaled ones ignore it and are measured whole-run.
+type runpathBench struct {
+	name   string
+	scaled bool
+	fn     func(n int) (uint64, error)
+}
+
+// runpathBenches is the steady-state run-path suite: ops are scheduler
+// events for the handoff chain (comparable to the kernel suite's
+// process_handoff ns/event), send+recv cycles for the ping-pong pairs,
+// and simulator events for the full FFT runs.
+func runpathBenches() []runpathBench {
+	pingPong := func(mkTopo func() (*topology.Topology, error), opts par.Options) func(int) (uint64, error) {
+		return func(n int) (uint64, error) {
+			topo, err := mkTopo()
+			if err != nil {
+				return 0, err
+			}
+			return pingPongCycles(topo, opts, n)
+		}
+	}
+	lan := func() (*topology.Topology, error) { return topology.SingleCluster(2), nil }
+	wan := func() (*topology.Topology, error) { return topology.Uniform(2, 1) }
+	clean := par.Options{Params: network.DefaultParams()}
+	faulted := par.Options{
+		Params: network.DefaultParams(),
+		Faults: faults.Params{DropRate: 0.02, Seed: 3},
+	}
+	return []runpathBench{
+		{"process_handoff", true, handoffHandleChain},
+		{"lan_send_recv", true, pingPong(lan, clean)},
+		{"wan_send_recv", true, pingPong(wan, clean)},
+		{"wan_send_recv_faulted", true, pingPong(wan, faulted)},
+		{"fft_small_das", false, func(int) (uint64, error) { return fftEvents(nil) }},
+		{"fft_small_traced_stream", false, func(int) (uint64, error) {
+			return fftEvents(trace.NewStream(topology.DAS().Procs()))
+		}},
+	}
+}

@@ -33,7 +33,8 @@ func main() {
 		perCluster = flag.Int("percluster", 8, "processors per cluster")
 		scaleF     = flag.String("scale", "paper", "problem scale: tiny, small or paper")
 		verify     = flag.Bool("verify", true, "check the computed result against the sequential reference")
-		traceRun   = flag.Bool("trace", false, "collect and print a communication trace")
+		traceRun   = flag.Bool("trace", false, "print communication aggregates (constant-memory streaming sink)")
+		traceFull  = flag.Bool("trace-full", false, "retain the full event trace: adds the wide-area timeline and busiest pairs (memory grows with message count)")
 		jitter     = flag.Duration("jitter", 0, "max extra one-way wide-area latency per message")
 		bwVar      = flag.Float64("bwvar", 0, "max fractional wide-area bandwidth loss per congestion episode (0..1)")
 		tcp        = flag.Float64("tcp", 0, "TCP-like per-message link occupancy as a fraction of the RTT")
@@ -110,10 +111,21 @@ func main() {
 		}
 		x.Configure = func(n *network.Network) { n.SetVariability(v) }
 	}
-	var tr *trace.Collector
-	if *traceRun {
-		tr = trace.NewCollector(topo.Procs())
-		x.Trace = tr
+	// -trace uses the constant-memory streaming sink: same summary, matrix
+	// and utilization, O(procs) memory. -trace-full retains every event for
+	// the analyses that need them (timeline, busiest pairs).
+	var (
+		agg  trace.Aggregator
+		full *trace.Collector
+	)
+	if *traceFull {
+		full = trace.NewCollector(topo.Procs())
+		x.Trace = full
+		agg = full
+	} else if *traceRun {
+		st := trace.NewStream(topo.Procs())
+		x.Trace = st
+		agg = st
 	}
 	if !*noCache {
 		if err := core.DefaultCache.SetDir(*cacheDir); err != nil {
@@ -154,18 +166,20 @@ func main() {
 	if *verify {
 		fmt.Println("verification:       output matches the sequential reference")
 	}
-	if tr != nil {
-		s := tr.Summarize()
+	if agg != nil {
+		s := agg.Summarize()
 		fmt.Printf("\ntrace: %d messages (%d wide-area), mean transit %v (WAN %v), max %v\n",
 			s.Messages, s.WANMessages, s.MeanTransit, s.MeanWANTransit, s.MaxTransit)
 		fmt.Println()
-		fmt.Print(tr.RenderCommMatrix())
+		fmt.Print(trace.RenderCommMatrix(agg))
 		fmt.Println()
-		fmt.Print(tr.RenderUtilization(res.Elapsed))
+		fmt.Print(trace.RenderUtilization(agg, res.Elapsed))
+	}
+	if full != nil {
 		fmt.Println()
-		fmt.Print(tr.Timeline(res.Elapsed, 24))
+		fmt.Print(full.Timeline(res.Elapsed, 24))
 		fmt.Println("\nbusiest pairs:")
-		for _, p := range tr.TopPairs(5) {
+		for _, p := range full.TopPairs(5) {
 			fmt.Printf("  %3d -> %3d: %d bytes\n", p.Src, p.Dst, p.Bytes)
 		}
 	}

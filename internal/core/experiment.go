@@ -74,8 +74,10 @@ type Experiment struct {
 	// Configure, if non-nil, tweaks the freshly built network before the
 	// run (per-pair speeds, wide-area variability).
 	Configure func(*network.Network)
-	// Trace, if non-nil, records every message and compute span.
-	Trace *trace.Collector
+	// Trace, if non-nil, records every message and compute span: a
+	// *trace.Collector retains the stream, a *trace.Stream aggregates it
+	// online in constant memory.
+	Trace trace.Sink
 	// Faults injects deterministic wide-area faults; the zero value leaves
 	// the run byte-identical to a fault-free one. Faulty runs route
 	// wide-area traffic through the reliable transport and remain fully

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"twolayer/internal/trace"
+)
+
+// TestStreamMatchesCollectorAllVariants is the end-to-end differential for
+// the streaming trace sink: every application variant of the golden
+// configuration is run twice — once with the retained Collector, once with
+// the constant-memory Stream — and the aggregate views (Summary, CommMatrix,
+// per-proc utilization, transport counters) must serialize to byte-identical
+// JSON. This is the acceptance gate that lets sweeps default to the Stream
+// without changing a single reported number.
+func TestStreamMatchesCollectorAllVariants(t *testing.T) {
+	for _, g := range GoldenRuns {
+		g := g
+		name := g.App + "/unopt"
+		if g.Optimized {
+			name = g.App + "/opt"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			aggJSON := func(sink trace.Sink) []byte {
+				x := goldenExperiment(t, g)
+				x.Trace = sink
+				res, err := x.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				agg, ok := sink.(trace.Aggregator)
+				if !ok {
+					t.Fatalf("sink %T does not implement trace.Aggregator", sink)
+				}
+				b, err := json.Marshal(trace.AggregatesOf(agg, res.Elapsed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			procs := goldenExperiment(t, g).Topo.Procs()
+			collected := aggJSON(trace.NewCollector(procs))
+			streamed := aggJSON(trace.NewStream(procs))
+			if string(collected) != string(streamed) {
+				t.Errorf("stream aggregates diverge from collector\ncollector: %s\nstream:    %s",
+					collected, streamed)
+			}
+		})
+	}
+}

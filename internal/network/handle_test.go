@@ -1,0 +1,130 @@
+package network
+
+import (
+	"testing"
+
+	"twolayer/internal/faults"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+// arrivalSink records handler-based deliveries: token -> arrival time.
+type arrivalSink struct {
+	k  *sim.Kernel
+	at map[uint64]sim.Time
+}
+
+func (s *arrivalSink) HandleEvent(token uint64) {
+	if _, dup := s.at[token]; dup {
+		token |= 1 << 63 // second copy of a duplicated message
+	}
+	s.at[token] = s.k.Now()
+}
+
+// sendScript is a deterministic mixed workload: loopback, intra-cluster and
+// wide-area messages of varying sizes from several ranks.
+type scriptedSend struct {
+	src, dst int
+	size     int64
+}
+
+func sendScript() []scriptedSend {
+	var script []scriptedSend
+	for i := 0; i < 40; i++ {
+		script = append(script,
+			scriptedSend{src: i % 4, dst: i % 4, size: int64(64 + i)},        // loopback
+			scriptedSend{src: i % 4, dst: (i + 1) % 4, size: int64(256 * i)}, // intra-cluster (DAS: 0-7 cluster 0)
+			scriptedSend{src: i % 4, dst: 8 + i%4, size: int64(1024 + 37*i)}, // WAN 0->1
+			scriptedSend{src: 16 + i%4, dst: 24 + i%4, size: int64(128 * i)}, // WAN 2->3
+		)
+	}
+	return script
+}
+
+// TestSendHandleMatchesSendClass is the differential test for the
+// closure-free delivery path: the same scripted traffic sent through
+// SendHandle must produce bit-identical arrival times, link statistics and
+// observer events as the closure form.
+func TestSendHandleMatchesSendClass(t *testing.T) {
+	script := sendScript()
+
+	runClosure := func(p Params, plan *faults.Plan) (map[uint64]sim.Time, LinkStats, []MessageEvent) {
+		k := sim.NewKernel()
+		n := New(k, topology.DAS(), p)
+		n.SetFaults(plan)
+		var events []MessageEvent
+		n.SetObserver(func(ev MessageEvent) { events = append(events, ev) })
+		at := make(map[uint64]sim.Time)
+		k.Spawn("src", func(proc *sim.Proc) {
+			for i, s := range script {
+				tok := uint64(i)
+				n.SendClass(s.src, s.dst, s.size, ClassData, func() {
+					if _, dup := at[tok]; dup {
+						tok |= 1 << 63
+					}
+					at[tok] = k.Now()
+				})
+				proc.Sleep(3 * sim.Microsecond)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at, n.TotalWAN(), events
+	}
+
+	runHandle := func(p Params, plan *faults.Plan) (map[uint64]sim.Time, LinkStats, []MessageEvent) {
+		k := sim.NewKernel()
+		n := New(k, topology.DAS(), p)
+		n.SetFaults(plan)
+		var events []MessageEvent
+		n.SetObserver(func(ev MessageEvent) { events = append(events, ev) })
+		sink := &arrivalSink{k: k, at: make(map[uint64]sim.Time)}
+		k.Spawn("src", func(proc *sim.Proc) {
+			for i, s := range script {
+				n.SendHandle(s.src, s.dst, s.size, ClassData, sink, uint64(i))
+				proc.Sleep(3 * sim.Microsecond)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.at, n.TotalWAN(), events
+	}
+
+	check := func(name string, p Params, plan *faults.Plan) {
+		ca, cw, ce := runClosure(p, plan)
+		ha, hw, he := runHandle(p, plan)
+		if len(ca) != len(ha) {
+			t.Fatalf("%s: %d closure arrivals vs %d handle arrivals", name, len(ca), len(ha))
+		}
+		for tok, at := range ca {
+			if ha[tok] != at {
+				t.Errorf("%s: message %d arrived at %v via handle, %v via closure", name, tok, ha[tok], at)
+			}
+		}
+		if cw != hw {
+			t.Errorf("%s: WAN stats differ: handle %+v closure %+v", name, hw, cw)
+		}
+		if len(ce) != len(he) {
+			t.Fatalf("%s: %d closure events vs %d handle events", name, len(ce), len(he))
+		}
+		for i := range ce {
+			if ce[i] != he[i] {
+				t.Errorf("%s: observer event %d differs: handle %+v closure %+v", name, i, he[i], ce[i])
+			}
+		}
+	}
+
+	check("clean", slowWANParams(), nil)
+	check("default", DefaultParams(), nil)
+	// Faulted WAN: drops, duplicates and jitter must hit the two forms
+	// identically (duplicated messages fire the handler twice).
+	plan := func() *faults.Plan {
+		return faults.NewPlan(faults.Params{
+			Seed: 11, DropRate: 0.1, DupRate: 0.1,
+			ReorderJitter: 2 * sim.Millisecond,
+		})
+	}
+	check("faulted", slowWANParams(), plan())
+}

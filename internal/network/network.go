@@ -237,13 +237,35 @@ func (n *Network) Topology() *topology.Topology { return n.topo }
 // Params returns the configured speeds.
 func (n *Network) Params() Params { return n.params }
 
+// delivery is the receiver half of a message in flight: either a closure
+// (the flexible, allocating form) or a preallocated handler plus integer
+// token (the steady-state form — see SendHandle). It is passed by value
+// through the routing legs, so choosing one form over the other never
+// changes costs, link bookings, or event ordering.
+type delivery struct {
+	fire  func()
+	h     sim.EventHandler
+	token uint64
+}
+
+// schedule books the delivery onto the kernel at the given time. Both forms
+// consume exactly one kernel sequence number, so closure- and handler-based
+// sends interleave identically.
+func (d delivery) schedule(k *sim.Kernel, at sim.Time) {
+	if d.h != nil {
+		k.ScheduleCall(at, d.h, d.token)
+		return
+	}
+	k.Schedule(at, d.fire)
+}
+
 // Send models the transfer of size simulated bytes from rank src to rank
 // dst, invoking deliver in kernel context at the arrival time. It must be
 // called from kernel or process context within the simulation. The deliver
 // callback receives the arrival time (equal to the kernel's current time
 // when it fires).
 func (n *Network) Send(src, dst int, size int64, deliver func()) {
-	n.SendClass(src, dst, size, ClassData, deliver)
+	n.send(src, dst, size, ClassData, delivery{fire: deliver})
 }
 
 // SendClass is Send with an explicit message class. The class does not
@@ -251,6 +273,26 @@ func (n *Network) Send(src, dst int, size int64, deliver func()) {
 // payloads from retransmissions and acks) and is how the reliable transport
 // in package par labels its protocol traffic.
 func (n *Network) SendClass(src, dst int, size int64, class MsgClass, deliver func()) {
+	n.send(src, dst, size, class, delivery{fire: deliver})
+}
+
+// SendHandle is SendClass without the closure: at the arrival time the
+// network calls h.HandleEvent(token) in kernel context. The handler is
+// typically a long-lived runtime object holding a pool of pending message
+// envelopes indexed by token, making the steady-state send path free of
+// heap allocations. Costs and event ordering are bit-identical to
+// SendClass.
+//
+// With fault injection active, a duplicated wide-area message fires the
+// handler once per delivered copy with the same token; handlers used on
+// fault-injected paths must tolerate that (the runtime's reliable transport
+// does not use SendHandle across the WAN for exactly this reason).
+func (n *Network) SendHandle(src, dst int, size int64, class MsgClass, h sim.EventHandler, token uint64) {
+	n.send(src, dst, size, class, delivery{h: h, token: token})
+}
+
+// send is the shared implementation of the three public send forms.
+func (n *Network) send(src, dst int, size int64, class MsgClass, del delivery) {
 	if size < 0 {
 		panic(fmt.Sprintf("network: negative message size %d", size))
 	}
@@ -260,7 +302,7 @@ func (n *Network) SendClass(src, dst int, size int64, class MsgClass, deliver fu
 	if src == dst {
 		// Loopback: software overhead only, no NIC transit.
 		deliverAt := ready + n.params.RecvOverhead
-		n.k.Schedule(deliverAt, deliver)
+		del.schedule(n.k, deliverAt)
 		if n.observer != nil {
 			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt, Class: class})
 		}
@@ -275,7 +317,7 @@ func (n *Network) SendClass(src, dst int, size int64, class MsgClass, deliver fu
 
 	if n.topo.SameCluster(src, dst) {
 		deliverAt := localArrive + n.params.RecvOverhead
-		n.k.Schedule(deliverAt, deliver)
+		del.schedule(n.k, deliverAt)
 		if n.observer != nil {
 			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now, Delivered: deliverAt, Class: class})
 		}
@@ -309,15 +351,15 @@ func (n *Network) SendClass(src, dst int, size int64, class MsgClass, deliver fu
 			}
 			return
 		}
-		n.wanDeliver(src, dst, sc, dc, now, localArrive, size, d.ExtraDelay, class, false, deliver)
+		n.wanDeliver(src, dst, sc, dc, now, localArrive, size, d.ExtraDelay, class, false, del)
 		if d.Duplicate {
 			n.faultStats.Duplicated++
-			n.wanDeliver(src, dst, sc, dc, now, localArrive, size, d.DupExtraDelay, class, true, deliver)
+			n.wanDeliver(src, dst, sc, dc, now, localArrive, size, d.DupExtraDelay, class, true, del)
 		}
 		return
 	}
 
-	n.wanDeliver(src, dst, sc, dc, now, localArrive, size, 0, class, false, deliver)
+	n.wanDeliver(src, dst, sc, dc, now, localArrive, size, 0, class, false, del)
 }
 
 // wanLeg books the message onto the directed wide-area link for the cluster
@@ -337,14 +379,14 @@ func (n *Network) wanLeg(sc, dc int, localArrive sim.Time, size int64) (wanDone,
 // offer order, so only a post-gateway delay can actually deliver a later
 // message before an earlier one.
 func (n *Network) wanDeliver(src, dst, sc, dc int, sent, localArrive sim.Time,
-	size int64, extraDelay sim.Time, class MsgClass, duplicate bool, deliver func()) {
+	size int64, extraDelay sim.Time, class MsgClass, duplicate bool, del delivery) {
 	wanDone, wanLat := n.wanLeg(sc, dc, localArrive, size)
 	remoteGateway := wanDone + wanLat
 
 	gwDone := n.gateways[dc].reserve(remoteGateway, size, n.params.IntraBandwidth)
 	arrive := gwDone + n.params.IntraLatency
 	deliverAt := arrive + n.params.RecvOverhead + extraDelay
-	n.k.Schedule(deliverAt, deliver)
+	del.schedule(n.k, deliverAt)
 	if n.observer != nil {
 		n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: sent,
 			Delivered: deliverAt, WAN: true, Class: class, Duplicate: duplicate})

@@ -1,0 +1,98 @@
+package par
+
+import (
+	"testing"
+
+	"twolayer/internal/faults"
+	"twolayer/internal/network"
+	"twolayer/internal/topology"
+)
+
+// pingPong runs n request/reply cycles between two ranks on topo and
+// returns any run error. Payloads are nil so the measurement isolates the
+// runtime's own send/deliver/receive path from caller-side boxing.
+func allocPingPong(t *testing.T, topo *topology.Topology, opts Options, n int) {
+	t.Helper()
+	job := func(e *Env) {
+		peer := 1 - e.Rank()
+		if e.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				e.Send(peer, 1, nil, 1024)
+				e.RecvFrom(peer, 2)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				e.RecvFrom(peer, 1)
+				e.Send(peer, 2, nil, 1024)
+			}
+		}
+	}
+	if _, err := RunWith(topo, opts, job); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// marginalAllocs measures the per-cycle allocation cost of the steady
+// state: the total allocations of a run with base+extra cycles minus one
+// with base cycles, divided by extra. Setup costs (kernel, envs, slab and
+// pool growth to peak depth) cancel out exactly, leaving only what each
+// additional send+recv cycle allocates.
+func marginalAllocs(t *testing.T, topo func() *topology.Topology, opts Options, base, extra int) float64 {
+	t.Helper()
+	small := testing.AllocsPerRun(3, func() { allocPingPong(t, topo(), opts, base) })
+	large := testing.AllocsPerRun(3, func() { allocPingPong(t, topo(), opts, base+extra) })
+	return (large - small) / float64(extra)
+}
+
+// TestLANSendRecvZeroAllocs pins the tentpole contract: a steady-state
+// intra-cluster send→deliver→receive cycle performs zero heap allocations.
+// Any regression here (a new closure on the delivery path, a mailbox that
+// stops recycling, an event queue that re-allocates) fails this test.
+func TestLANSendRecvZeroAllocs(t *testing.T) {
+	per := marginalAllocs(t, func() *topology.Topology { return topology.SingleCluster(2) },
+		Options{Params: network.DefaultParams()}, 2048, 2048)
+	if per > 0.01 {
+		t.Errorf("steady-state LAN send+recv allocates %.4f allocs/cycle, want 0", per)
+	}
+}
+
+// TestWANSendRecvZeroAllocs extends the contract to the fault-free
+// wide-area path: gateway and WAN-link routing must not allocate either.
+func TestWANSendRecvZeroAllocs(t *testing.T) {
+	topo := func() *topology.Topology {
+		tp, err := topology.Uniform(2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	per := marginalAllocs(t, topo, Options{Params: network.DefaultParams()}, 512, 512)
+	if per > 0.01 {
+		t.Errorf("steady-state WAN send+recv allocates %.4f allocs/cycle, want 0", per)
+	}
+}
+
+// TestWANFaultedAllocCap bounds the faulted path: wide-area traffic under
+// fault injection runs through the reliable transport, whose frame and ack
+// closures are the only remaining per-message allocations. The cap is
+// deliberately a small constant — it may move with intentional transport
+// changes, but a silent regression (per-message allocation creeping into
+// the shared delivery or timer paths) blows well past it.
+func TestWANFaultedAllocCap(t *testing.T) {
+	topo := func() *topology.Topology {
+		tp, err := topology.Uniform(2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	opts := Options{
+		Params: network.DefaultParams(),
+		Faults: faults.Params{DropRate: 0.02, Seed: 3},
+	}
+	per := marginalAllocs(t, topo, opts, 512, 512)
+	const cap = 8.0
+	if per > cap {
+		t.Errorf("faulted WAN send+recv allocates %.2f allocs/cycle, want <= %.0f", per, cap)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"twolayer/internal/network"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
@@ -113,8 +114,11 @@ func (e *Env) Send(dst int, tag Tag, data any, bytes int64) {
 		e.p.Compute(e.rt.net.Params().SendOverhead)
 		return
 	}
+	// Direct path: stage the envelope in the runtime's pool and let the
+	// network schedule a handler event — no per-message closure, so the
+	// steady-state send→deliver→receive cycle performs no heap allocation.
 	dmb := &e.rt.envs[dst].mb
-	e.rt.net.Send(e.rank, dst, bytes, func() { dmb.deliver(m) })
+	e.rt.net.SendHandle(e.rank, dst, bytes, network.ClassData, e.rt, e.rt.stage(dmb, m))
 	// The sender itself is occupied for the software send overhead.
 	e.p.Compute(e.rt.net.Params().SendOverhead)
 }

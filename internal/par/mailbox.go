@@ -27,10 +27,31 @@ const AnyTag Tag = -1
 // AnySender matches any source rank in a receive.
 const AnySender = -1
 
+// msgNode is one slot of the mailbox slab: a message envelope linked into
+// either the queue (arrival order) or the free list.
+type msgNode struct {
+	m    Msg
+	next int32 // slab index + 1 of the next node; 0 terminates
+}
+
 // mailbox is a per-process queue of undelivered messages with selective
 // receive: the owning process may block waiting for a (sender, tag) pattern.
+//
+// The queue is an intrusive singly-linked list threaded through a slab of
+// reusable nodes with a free list, rather than a slice. Selective receive
+// removes from the middle of the queue, which on a slice costs a copy of
+// the tail per receive and on the list is a constant-time unlink; and once
+// the slab has grown to the run's peak in-flight depth, deliveries recycle
+// free nodes instead of allocating. Arrival order and the scan order of
+// take are identical to the slice implementation, so matching semantics are
+// preserved bit for bit (the differential test in mailbox_test.go pins
+// this). The zero value is an empty, usable mailbox: slab references are
+// index+1 so zero means "none".
 type mailbox struct {
-	queue []Msg
+	nodes      []msgNode
+	head, tail int32 // queue ends, arrival order
+	free       int32 // free-list head
+	queued     int
 
 	cond     sim.Cond
 	wantFrom int
@@ -52,22 +73,56 @@ func match(m *Msg, from int, tag Tag) bool {
 	return (from == AnySender || m.From == from) && (tag == AnyTag || m.Tag == tag)
 }
 
-// take removes and returns the first queued message matching the pattern.
+// take removes and returns the first queued message matching the pattern,
+// scanning in arrival order.
 func (mb *mailbox) take(from int, tag Tag) (Msg, bool) {
-	for i := range mb.queue {
-		if match(&mb.queue[i], from, tag) {
-			m := mb.queue[i]
-			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-			return m, true
+	prev := int32(0)
+	for ref := mb.head; ref != 0; {
+		node := &mb.nodes[ref-1]
+		if !match(&node.m, from, tag) {
+			prev, ref = ref, node.next
+			continue
 		}
+		if prev == 0 {
+			mb.head = node.next
+		} else {
+			mb.nodes[prev-1].next = node.next
+		}
+		if mb.tail == ref {
+			mb.tail = prev
+		}
+		m := node.m
+		node.m = Msg{} // release the payload reference for GC
+		node.next = mb.free
+		mb.free = ref
+		mb.queued--
+		return m, true
 	}
 	return Msg{}, false
 }
 
 // deliver appends a message and wakes the owner if it is waiting for a
-// matching pattern. Must be called from kernel context.
+// matching pattern. Must be called from kernel context. In steady state
+// (slab at peak depth) it performs no heap allocation.
 func (mb *mailbox) deliver(m Msg) {
-	mb.queue = append(mb.queue, m)
+	var ref int32
+	if mb.free != 0 {
+		ref = mb.free
+		mb.free = mb.nodes[ref-1].next
+	} else {
+		mb.nodes = append(mb.nodes, msgNode{})
+		ref = int32(len(mb.nodes))
+	}
+	node := &mb.nodes[ref-1]
+	node.m = m
+	node.next = 0
+	if mb.tail == 0 {
+		mb.head = ref
+	} else {
+		mb.nodes[mb.tail-1].next = ref
+	}
+	mb.tail = ref
+	mb.queued++
 	if mb.cond.Waiting() && match(&m, mb.wantFrom, mb.wantTag) {
 		mb.cond.Signal()
 	}
@@ -86,4 +141,4 @@ func (mb *mailbox) recv(p *sim.Proc, from int, tag Tag) Msg {
 }
 
 // pending reports how many undelivered messages are queued.
-func (mb *mailbox) pending() int { return len(mb.queue) }
+func (mb *mailbox) pending() int { return mb.queued }

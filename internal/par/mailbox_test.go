@@ -1,0 +1,91 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMailbox is the original slice-based queue: the reference the slab
+// implementation must match operation for operation.
+type refMailbox struct {
+	queue []Msg
+}
+
+func (mb *refMailbox) deliver(m Msg) { mb.queue = append(mb.queue, m) }
+
+func (mb *refMailbox) take(from int, tag Tag) (Msg, bool) {
+	for i := range mb.queue {
+		if match(&mb.queue[i], from, tag) {
+			m := mb.queue[i]
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return Msg{}, false
+}
+
+// TestMailboxMatchesSliceReference drives the slab mailbox and the slice
+// reference with identical random operation sequences: every take must
+// return the same message (or the same miss), and the pending counts must
+// track. This pins FIFO order and selective-receive semantics bit for bit.
+func TestMailboxMatchesSliceReference(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var mb mailbox
+		var ref refMailbox
+		for op := 0; op < 20000; op++ {
+			if r.Intn(2) == 0 {
+				m := Msg{
+					From:  r.Intn(6),
+					Tag:   Tag(r.Intn(4)),
+					Data:  op,
+					Bytes: int64(op),
+				}
+				mb.deliver(m)
+				ref.deliver(m)
+			} else {
+				from := r.Intn(7) - 1 // includes AnySender
+				tag := Tag(r.Intn(5) - 1)
+				gm, gok := mb.take(from, tag)
+				wm, wok := ref.take(from, tag)
+				if gok != wok || gm != wm {
+					t.Fatalf("seed %d op %d: take(%d,%d) = %v,%v; reference %v,%v",
+						seed, op, from, tag, gm, gok, wm, wok)
+				}
+			}
+			if mb.pending() != len(ref.queue) {
+				t.Fatalf("seed %d op %d: pending %d, reference %d", seed, op, mb.pending(), len(ref.queue))
+			}
+		}
+		// Drain both completely; arrival order must match exactly.
+		for {
+			gm, gok := mb.take(AnySender, AnyTag)
+			wm, wok := ref.take(AnySender, AnyTag)
+			if gok != wok || gm != wm {
+				t.Fatalf("seed %d drain: %v,%v vs reference %v,%v", seed, gm, gok, wm, wok)
+			}
+			if !gok {
+				break
+			}
+		}
+	}
+}
+
+// TestMailboxSlabReuse checks that a drained mailbox recycles its slab
+// instead of growing: peak slab size equals peak queue depth.
+func TestMailboxSlabReuse(t *testing.T) {
+	var mb mailbox
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 8; i++ {
+			mb.deliver(Msg{From: i, Tag: 1})
+		}
+		for i := 0; i < 8; i++ {
+			if _, ok := mb.take(AnySender, AnyTag); !ok {
+				t.Fatal("take miss on non-empty mailbox")
+			}
+		}
+	}
+	if len(mb.nodes) != 8 {
+		t.Errorf("slab grew to %d nodes; want peak depth 8", len(mb.nodes))
+	}
+}

@@ -19,8 +19,10 @@ type Options struct {
 	// Configure, if non-nil, runs against the freshly built network before
 	// any process starts — the hook for SetPairSpeeds / SetVariability.
 	Configure func(*network.Network)
-	// Trace, if non-nil, collects every message and compute span.
-	Trace *trace.Collector
+	// Trace, if non-nil, receives every message and compute span. Pass a
+	// *trace.Collector to retain the full event stream (timelines, JSON
+	// export) or a *trace.Stream to aggregate online in constant memory.
+	Trace trace.Sink
 	// Faults injects deterministic wide-area faults (drops, duplicates,
 	// reordering jitter, outages). The zero value disables injection and
 	// leaves every code path byte-identical to a fault-free run. Non-zero

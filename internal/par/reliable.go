@@ -181,14 +181,18 @@ func mix64(x uint64) uint64 {
 
 // arm schedules (or reschedules) the retransmission timer for the current
 // window. Any previously scheduled timeout is invalidated by the generation
-// counter.
+// counter, which rides along as the event token — the timer path allocates
+// no closure.
 func (s *relSender) arm() {
 	s.timerGen++
-	gen := s.timerGen
 	s.timerOn = true
 	k := s.e.rt.k
-	k.Schedule(k.Now()+s.rto(), func() { s.onTimeout(gen) })
+	k.ScheduleCall(k.Now()+s.rto(), s, s.timerGen)
 }
+
+// HandleEvent implements sim.EventHandler for the retransmission timer; the
+// token is the generation the timeout was armed for.
+func (s *relSender) HandleEvent(gen uint64) { s.onTimeout(gen) }
 
 // onTimeout fires when the oldest frame went unacknowledged for a full RTO:
 // go-back-N resends the entire window with exponential backoff. Exceeding

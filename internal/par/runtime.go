@@ -19,9 +19,55 @@ type runtime struct {
 	topo   *topology.Topology
 	net    *network.Network
 	envs   []*Env
-	tracer *trace.Collector
+	tracer trace.Sink
 	seed   int64
 	rel    *relConfig // nil unless the reliable transport is active
+
+	// pend pools the envelopes of messages in flight on the direct (non-
+	// reliable) path: a send stages {destination mailbox, message} here and
+	// hands the network only the runtime (a sim.EventHandler) plus the slot
+	// token, so the steady-state send→deliver cycle allocates nothing. Slots
+	// are recycled through a free list (index+1 encoding; 0 = none) and the
+	// slab's peak size is the run's peak number of undelivered messages.
+	pend     []pendingMsg
+	pendFree int32
+}
+
+// pendingMsg is one pooled in-flight message envelope.
+type pendingMsg struct {
+	mb   *mailbox
+	m    Msg
+	next int32
+}
+
+// stage places a message bound for mb into the delivery pool and returns
+// its token for SendHandle.
+func (rt *runtime) stage(mb *mailbox, m Msg) uint64 {
+	var idx int32
+	if rt.pendFree != 0 {
+		idx = rt.pendFree - 1
+		rt.pendFree = rt.pend[idx].next
+	} else {
+		rt.pend = append(rt.pend, pendingMsg{})
+		idx = int32(len(rt.pend)) - 1
+	}
+	p := &rt.pend[idx]
+	p.mb = mb
+	p.m = m
+	return uint64(idx)
+}
+
+// HandleEvent implements sim.EventHandler: the network's delivery event for
+// a staged message fired. The envelope is recycled before the mailbox
+// delivery runs (delivery may wake a process whose next send reuses it).
+func (rt *runtime) HandleEvent(token uint64) {
+	p := &rt.pend[token]
+	mb, m := p.mb, p.m
+	p.mb = nil
+	p.m = Msg{}
+	p.next = rt.pendFree
+	rt.pendFree = int32(token) + 1
+	mb.deliver(m)
 }
 
 // rankNames caches the diagnostic process names ("rank0", "rank1", ...)

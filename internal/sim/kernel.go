@@ -75,6 +75,38 @@ func (k *Kernel) scheduleProc(at Time, p *Proc) {
 	k.queue.Push(event{at: at, seq: k.seq, proc: p})
 }
 
+// EventHandler is the closure-free form of a scheduled callback: a
+// preallocated object dispatched with an integer token. The hot send/deliver
+// paths of the network and runtime layers schedule handlers instead of
+// closures, so a steady-state message costs no heap allocation; the token
+// identifies which pending piece of work (e.g. a pooled message envelope or
+// a timer generation) the firing refers to.
+type EventHandler interface {
+	HandleEvent(token uint64)
+}
+
+// ScheduleCall registers h.HandleEvent(token) to run at absolute virtual
+// time at. It is Schedule without the closure: event ordering relative to
+// Schedule and process wake-ups is identical (one shared sequence counter
+// breaks ties), so replacing a closure with a handler never reorders a
+// simulation. Scheduling in the past panics.
+func (k *Kernel) ScheduleCall(at Time, h EventHandler, token uint64) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	k.seq++
+	k.queue.Push(event{at: at, seq: k.seq, h: h, token: token})
+}
+
+// CallAfter registers h.HandleEvent(token) to run d from now. Negative d is
+// treated as zero.
+func (k *Kernel) CallAfter(d Time, h EventHandler, token uint64) {
+	if d < 0 {
+		d = 0
+	}
+	k.ScheduleCall(k.now+d, h, token)
+}
+
 // After registers fn to run d from now. Negative d is treated as zero.
 func (k *Kernel) After(d Time, fn func()) {
 	if d < 0 {
@@ -140,9 +172,12 @@ func (k *Kernel) step() {
 			k.limitErr = fmt.Errorf("sim: event limit %d exceeded at %v (livelock?)", k.eventLimit, k.now)
 			return
 		}
-		if ev.proc != nil {
+		switch {
+		case ev.proc != nil:
 			k.makeReady(ev.proc)
-		} else {
+		case ev.h != nil:
+			ev.h.HandleEvent(ev.token)
+		default:
 			ev.fire()
 		}
 	}

@@ -174,3 +174,8 @@ func (c *Cond) Signal() bool {
 
 // Waiting reports whether a process is currently blocked on the Cond.
 func (c *Cond) Waiting() bool { return c.waiter != nil }
+
+// HandleEvent implements EventHandler by signalling the Cond: a wake-up can
+// be scheduled with Kernel.ScheduleCall(at, cond, 0) instead of a closure,
+// keeping timer-driven signals allocation-free. The token is ignored.
+func (c *Cond) HandleEvent(uint64) { c.Signal() }

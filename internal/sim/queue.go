@@ -2,22 +2,26 @@ package sim
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 )
 
 // event is a scheduled unit of work in virtual time. The seq field breaks
 // ties between events scheduled for the same instant: earlier-scheduled
 // events fire first, which makes the simulation fully deterministic.
 //
-// An event either wakes a process (proc != nil) or runs a callback (fire).
-// Carrying the process pointer directly keeps the scheduler's hottest
-// operations — Compute/Sleep wake-ups and process starts — free of closure
-// allocations.
+// An event wakes a process (proc != nil), invokes a preallocated handler
+// with an integer token (h != nil), or runs a callback (fire). Carrying the
+// process pointer or the handler directly keeps the scheduler's hottest
+// operations — Compute/Sleep wake-ups, process starts, and message
+// deliveries — free of closure allocations: the closure form remains only
+// for cold setup paths and external callers.
 type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc  // if non-nil, wake/start this process; fire is ignored
-	fire func() // otherwise, run this callback
+	at    Time
+	seq   uint64
+	proc  *Proc        // if non-nil, wake/start this process
+	h     EventHandler // else if non-nil, call h.HandleEvent(token)
+	token uint64
+	fire  func() // otherwise, run this callback
 }
 
 // The near-future band of the ladder queue: a ring of numBuckets buckets,
@@ -161,12 +165,22 @@ func (q *eventQueue) advance() {
 	for q.far.Len() > 0 && slotOf(q.far.PeekTime()) == s {
 		q.active = append(q.active, q.far.Pop())
 	}
-	sort.Slice(q.active, func(a, b int) bool {
-		x, y := &q.active[a], &q.active[b]
+	// slices.SortFunc, not sort.Slice: the reflection-based sorter allocates
+	// a closure header per call, which at one advance per occupied slot was
+	// the last per-event allocation on the steady-state run path. (at, seq)
+	// is a total order — seq is unique — so sort stability is irrelevant and
+	// any correct sort yields the same, bit-exact event order.
+	slices.SortFunc(q.active, func(x, y event) int {
 		if x.at != y.at {
-			return x.at < y.at
+			if x.at < y.at {
+				return -1
+			}
+			return 1
 		}
-		return x.seq < y.seq
+		if x.seq < y.seq {
+			return -1
+		}
+		return 1
 	})
 	q.curSlot = s
 }

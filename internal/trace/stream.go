@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"math"
+
+	"twolayer/internal/sim"
+)
+
+// Counters aggregates delivered wire traffic by message kind plus the
+// fault-injection outcomes — the online form of the per-message Kind/Dup/
+// Dropped flags. All counts are of observed messages (every wire copy), so
+// under fault injection Data+Retrans+Ack+Dropped equals the total observed
+// message count.
+type Counters struct {
+	// Data, Retrans and Ack count delivered messages by kind.
+	Data    int64 `json:"data"`
+	Retrans int64 `json:"retrans"`
+	Ack     int64 `json:"ack"`
+	// WANData, WANRetrans and WANAck are the wide-area subset of the above.
+	WANData    int64 `json:"wan_data"`
+	WANRetrans int64 `json:"wan_retrans"`
+	WANAck     int64 `json:"wan_ack"`
+	// Duplicates counts injected second copies among the delivered messages.
+	Duplicates int64 `json:"duplicates"`
+	// Dropped counts messages lost to fault injection (never delivered).
+	Dropped int64 `json:"dropped"`
+}
+
+// Stream is the constant-memory trace sink: it consumes the same event
+// stream as Collector but folds every message and span into running
+// aggregates instead of retaining them. A traced run therefore allocates a
+// fixed few slices at construction and nothing per message, and its memory
+// is O(procs) instead of O(messages).
+//
+// Stream produces bit-identical Summary, CommMatrix and Utilization results
+// to a Collector fed the same stream (the differential tests in this
+// package and internal/core pin that equivalence). What it cannot do is
+// anything requiring the raw events — timelines, JSON event export, TopPairs
+// — for which the Collector remains available.
+type Stream struct {
+	Procs int
+
+	comm []int64    // procs*procs flat first-transmission payload bytes
+	busy []sim.Time // per-rank compute time
+
+	// Summary accumulators, updated in record order so the final division
+	// matches Collector.Summarize bit for bit.
+	messages    int
+	wanMessages int
+	dropped     int
+	bytes       int64
+	wanBytes    int64
+	transit     sim.Time
+	wanTransit  sim.Time
+	maxTransit  sim.Time
+
+	counters  Counters
+	transport TransportStats
+}
+
+// NewStream creates a streaming sink for a machine with procs processors.
+// All memory the sink will ever use is allocated here.
+func NewStream(procs int) *Stream {
+	return &Stream{
+		Procs: procs,
+		comm:  make([]int64, procs*procs),
+		busy:  make([]sim.Time, procs),
+	}
+}
+
+// RecordMessage folds one message into the running aggregates. It performs
+// no heap allocation.
+func (s *Stream) RecordMessage(m Message) {
+	if m.Kind == KindData && !m.Dup {
+		// A dropped first transmission still is the payload's logical
+		// traffic (its retransmission will be KindRetrans), so the comm
+		// matrix counts it — exactly like Collector.CommMatrix.
+		s.comm[m.Src*s.Procs+m.Dst] += m.Bytes
+	}
+	if m.Dropped {
+		s.dropped++
+		s.counters.Dropped++
+		return
+	}
+	s.messages++
+	s.bytes += m.Bytes
+	d := m.Delivered - m.Sent
+	s.transit += d
+	if d > s.maxTransit {
+		s.maxTransit = d
+	}
+	if m.WAN {
+		s.wanMessages++
+		s.wanBytes += m.Bytes
+		s.wanTransit += d
+	}
+	switch m.Kind {
+	case KindRetrans:
+		s.counters.Retrans++
+		if m.WAN {
+			s.counters.WANRetrans++
+		}
+	case KindAck:
+		s.counters.Ack++
+		if m.WAN {
+			s.counters.WANAck++
+		}
+	default:
+		s.counters.Data++
+		if m.WAN {
+			s.counters.WANData++
+		}
+	}
+	if m.Dup {
+		s.counters.Duplicates++
+	}
+}
+
+// RecordSpan folds one computation interval into the per-rank busy time.
+func (s *Stream) RecordSpan(sp Span) {
+	s.busy[sp.Rank] += sp.End - sp.Start
+}
+
+// RecordTransport stores the run's reliable-transport counters.
+func (s *Stream) RecordTransport(ts TransportStats) { s.transport = ts }
+
+// TransportCounters returns the reliable-transport counters of the run.
+func (s *Stream) TransportCounters() TransportStats { return s.transport }
+
+// Counters returns the per-kind and fault counters.
+func (s *Stream) Counters() Counters { return s.counters }
+
+// Summarize returns the aggregate statistics, bit-identical to
+// Collector.Summarize over the same stream.
+func (s *Stream) Summarize() Summary {
+	sum := Summary{
+		Messages:    s.messages,
+		WANMessages: s.wanMessages,
+		Dropped:     s.dropped,
+		Bytes:       s.bytes,
+		WANBytes:    s.wanBytes,
+		MaxTransit:  s.maxTransit,
+	}
+	if s.messages > 0 {
+		sum.MeanTransit = s.transit / sim.Time(s.messages)
+	}
+	if s.wanMessages > 0 {
+		sum.MeanWANTransit = s.wanTransit / sim.Time(s.wanMessages)
+	}
+	return sum
+}
+
+// CommMatrix returns the logical application traffic matrix (first
+// transmissions only, like Collector.CommMatrix). The rows alias the sink's
+// internal flat array; callers treat the result as read-only.
+func (s *Stream) CommMatrix() [][]int64 { return commRows(s.comm, s.Procs) }
+
+// Utilization returns each rank's fraction of the horizon spent computing.
+func (s *Stream) Utilization(horizon sim.Time) []float64 {
+	out := make([]float64, s.Procs)
+	for i, b := range s.busy {
+		out[i] = math.Float64frombits(uint64(int64(b)))
+	}
+	finishUtilization(out, horizon)
+	return out
+}
+
+// Aggregates bundles every analysis both sink implementations can produce,
+// as one JSON-marshalable value — the unit of the byte-identical
+// differential contract between Collector and Stream.
+type Aggregates struct {
+	Summary     Summary        `json:"summary"`
+	CommMatrix  [][]int64      `json:"comm_matrix"`
+	Utilization []float64      `json:"utilization"`
+	Transport   TransportStats `json:"transport"`
+}
+
+// Aggregator is the query side both sink implementations share.
+type Aggregator interface {
+	Summarize() Summary
+	CommMatrix() [][]int64
+	Utilization(horizon sim.Time) []float64
+	TransportCounters() TransportStats
+}
+
+// AggregatesOf collects every common analysis of a finished run from either
+// sink implementation.
+func AggregatesOf(a Aggregator, horizon sim.Time) Aggregates {
+	return Aggregates{
+		Summary:     a.Summarize(),
+		CommMatrix:  a.CommMatrix(),
+		Utilization: a.Utilization(horizon),
+		Transport:   a.TransportCounters(),
+	}
+}

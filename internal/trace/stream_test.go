@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"twolayer/internal/sim"
+)
+
+// randomStreamEvents feeds an identical pseudo-random event stream to both
+// sinks: messages of every kind (data, retrans, ack, dup, dropped, WAN and
+// LAN), interleaved compute spans, and transport counters.
+func feedBoth(t *testing.T, seed int64, procs, n int) (*Collector, *Stream) {
+	t.Helper()
+	c := NewCollector(procs)
+	s := NewStream(procs)
+	feed := func(sink Sink) {
+		r := rand.New(rand.NewSource(seed))
+		clock := sim.Time(0)
+		for i := 0; i < n; i++ {
+			clock += sim.Time(r.Intn(5000))
+			if r.Intn(4) == 0 {
+				rank := r.Intn(procs)
+				d := sim.Time(r.Intn(100000))
+				sink.RecordSpan(Span{Rank: rank, Start: clock, End: clock + d})
+				continue
+			}
+			m := Message{
+				Src:   r.Intn(procs),
+				Dst:   r.Intn(procs),
+				Bytes: int64(r.Intn(1 << 16)),
+				Sent:  clock,
+				WAN:   r.Intn(2) == 0,
+				Kind:  MsgKind(r.Intn(3)),
+			}
+			m.Delivered = m.Sent + sim.Time(r.Intn(int(30*sim.Millisecond)))
+			if r.Intn(8) == 0 {
+				m.Dup = true
+			}
+			if r.Intn(10) == 0 {
+				m.Dropped = true
+			}
+			sink.RecordMessage(m)
+		}
+		sink.RecordTransport(TransportStats{
+			Timeouts: 11, Retransmits: 7, Acks: 9, Duplicates: 3, OutOfOrder: 2,
+		})
+	}
+	feed(c)
+	feed(s)
+	return c, s
+}
+
+// TestStreamMatchesCollectorRandom is the sink differential test: over
+// randomized event streams, the streaming sink's aggregates must be
+// byte-identical (as JSON) to the retain-everything Collector's.
+func TestStreamMatchesCollectorRandom(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		procs := 2 + int(seed)%14
+		c, s := feedBoth(t, seed, procs, 4000)
+		horizon := sim.Time(4000 * 5000)
+		cj, err := json.Marshal(AggregatesOf(c, horizon))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj, err := json.Marshal(AggregatesOf(s, horizon))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(cj) != string(sj) {
+			t.Fatalf("seed %d: aggregates differ\ncollector: %s\nstream:    %s", seed, cj, sj)
+		}
+		// Zero horizon exercises the division guard in both.
+		cz, _ := json.Marshal(AggregatesOf(c, 0))
+		sz, _ := json.Marshal(AggregatesOf(s, 0))
+		if string(cz) != string(sz) {
+			t.Fatalf("seed %d: zero-horizon aggregates differ", seed)
+		}
+	}
+}
+
+// TestStreamRecordNoAlloc pins the streaming sink's per-event allocation
+// budget to zero.
+func TestStreamRecordNoAlloc(t *testing.T) {
+	s := NewStream(16)
+	m := Message{Src: 3, Dst: 9, Bytes: 4096, Sent: 10, Delivered: 500, WAN: true}
+	sp := Span{Rank: 5, Start: 0, End: 100}
+	if a := testing.AllocsPerRun(100, func() { s.RecordMessage(m) }); a != 0 {
+		t.Errorf("RecordMessage allocates %.1f per event, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { s.RecordSpan(sp) }); a != 0 {
+		t.Errorf("RecordSpan allocates %.1f per event, want 0", a)
+	}
+}
+
+// TestStreamCounters spot-checks the per-kind counters.
+func TestStreamCounters(t *testing.T) {
+	s := NewStream(4)
+	s.RecordMessage(Message{Src: 0, Dst: 1, Bytes: 10, Kind: KindData})
+	s.RecordMessage(Message{Src: 0, Dst: 2, Bytes: 10, Kind: KindData, WAN: true})
+	s.RecordMessage(Message{Src: 0, Dst: 2, Bytes: 10, Kind: KindData, WAN: true, Dup: true})
+	s.RecordMessage(Message{Src: 0, Dst: 2, Bytes: 10, Kind: KindRetrans, WAN: true})
+	s.RecordMessage(Message{Src: 2, Dst: 0, Bytes: 4, Kind: KindAck, WAN: true})
+	s.RecordMessage(Message{Src: 0, Dst: 2, Bytes: 10, Kind: KindData, WAN: true, Dropped: true})
+	got := s.Counters()
+	want := Counters{Data: 3, Retrans: 1, Ack: 1, WANData: 2, WANRetrans: 1, WANAck: 1, Duplicates: 1, Dropped: 1}
+	if got != want {
+		t.Errorf("counters %+v, want %+v", got, want)
+	}
+	// The dup and the dropped message must not enter the comm matrix.
+	m := s.CommMatrix()
+	if m[0][2] != 20 {
+		t.Errorf("comm[0][2] = %d, want 20 (first transmissions only)", m[0][2])
+	}
+	if m[0][1] != 10 {
+		t.Errorf("comm[0][1] = %d, want 10", m[0][1])
+	}
+}
+
+// TestCommMatrixFlatBacking verifies the flat-array layout still renders a
+// correct matrix per row.
+func TestCommMatrixFlatBacking(t *testing.T) {
+	c := NewCollector(3)
+	c.RecordMessage(Message{Src: 0, Dst: 2, Bytes: 5})
+	c.RecordMessage(Message{Src: 2, Dst: 1, Bytes: 7})
+	m := c.CommMatrix()
+	if len(m) != 3 || len(m[0]) != 3 {
+		t.Fatalf("matrix shape %dx%d, want 3x3", len(m), len(m[0]))
+	}
+	if m[0][2] != 5 || m[2][1] != 7 || m[1][1] != 0 {
+		t.Errorf("matrix %v wrong", m)
+	}
+	// Rows must not be appendable into each other (full slice expressions).
+	m[0] = append(m[0], 99)
+	if m[1][0] == 99 {
+		t.Error("row append overwrote the next row: missing capacity clamp")
+	}
+}

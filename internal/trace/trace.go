@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -100,6 +101,24 @@ type Span struct {
 	Start, End sim.Time
 }
 
+// Sink receives the event stream of a run. Two implementations exist: the
+// retain-everything Collector (timelines, JSON export, arbitrary post-hoc
+// analysis) and the constant-memory Stream (aggregates computed online, for
+// long runs and sweeps where retaining every message would dominate memory
+// and GC time). The runtime records through this interface, so a run can be
+// traced with either at no cost to the other.
+type Sink interface {
+	// RecordMessage is called once per observed message (delivered or,
+	// under fault injection, dropped), in delivery order.
+	RecordMessage(m Message)
+	// RecordSpan is called once per computation interval, in start order
+	// per rank.
+	RecordSpan(s Span)
+	// RecordTransport is called at most once, after the run, with the
+	// reliable-transport counters.
+	RecordTransport(ts TransportStats)
+}
+
 // Collector accumulates events during a run. It is safe to share across
 // the simulated processes (the simulation runs one at a time); it is not
 // safe for use from multiple concurrent simulations.
@@ -126,17 +145,21 @@ func (c *Collector) RecordSpan(s Span) { c.Spans = append(c.Spans, s) }
 // RecordTransport stores the run's reliable-transport counters.
 func (c *Collector) RecordTransport(ts TransportStats) { c.Transport = ts }
 
+// TransportCounters returns the recorded reliable-transport counters,
+// making Collector an Aggregator alongside Stream.
+func (c *Collector) TransportCounters() TransportStats { return c.Transport }
+
 // CommMatrix returns the logical application traffic from each rank to each
 // rank: every payload counted exactly once by its first transmission.
 // Retransmissions, injected duplicates and transport acks are protocol
 // overhead, not communication structure, so they never double-count here
 // — the matrix of a faulty run matches its fault-free twin. (WAN link
 // statistics, in contrast, do charge every copy on the wire.)
+//
+// The rows share a single flat procs*procs backing array (two allocations
+// total instead of procs+1); callers treat the result as read-only.
 func (c *Collector) CommMatrix() [][]int64 {
-	m := make([][]int64, c.Procs)
-	for i := range m {
-		m[i] = make([]int64, c.Procs)
-	}
+	m := commRows(make([]int64, c.Procs*c.Procs), c.Procs)
 	for _, msg := range c.Messages {
 		if msg.Kind != KindData || msg.Dup {
 			continue
@@ -146,19 +169,43 @@ func (c *Collector) CommMatrix() [][]int64 {
 	return m
 }
 
-// Utilization returns each rank's fraction of the horizon spent computing.
-func (c *Collector) Utilization(horizon sim.Time) []float64 {
-	busy := make([]sim.Time, c.Procs)
-	for _, s := range c.Spans {
-		busy[s.Rank] += s.End - s.Start
+// commRows slices a flat procs*procs array into per-sender rows.
+func commRows(flat []int64, procs int) [][]int64 {
+	m := make([][]int64, procs)
+	for i := range m {
+		m[i] = flat[i*procs : (i+1)*procs : (i+1)*procs]
 	}
+	return m
+}
+
+// Utilization returns each rank's fraction of the horizon spent computing.
+//
+// The output slice doubles as the summation scratch: per-rank busy time is
+// accumulated exactly in integer nanoseconds, bit-stored in the float64
+// slots (math.Float64frombits), then divided out — one allocation, and the
+// integer accumulation order matches the online Stream sink bit for bit.
+func (c *Collector) Utilization(horizon sim.Time) []float64 {
 	out := make([]float64, c.Procs)
-	for i, b := range busy {
+	for _, s := range c.Spans {
+		b := int64(math.Float64bits(out[s.Rank]))
+		b += int64(s.End - s.Start)
+		out[s.Rank] = math.Float64frombits(uint64(b))
+	}
+	finishUtilization(out, horizon)
+	return out
+}
+
+// finishUtilization converts bit-stored integer busy times in place into
+// fractions of the horizon.
+func finishUtilization(out []float64, horizon sim.Time) {
+	for i := range out {
+		b := int64(math.Float64bits(out[i]))
 		if horizon > 0 {
 			out[i] = float64(b) / float64(horizon)
+		} else {
+			out[i] = 0
 		}
 	}
-	return out
 }
 
 // Summary aggregates the trace. Message/byte counts cover delivered wire
@@ -221,8 +268,13 @@ func heat(frac float64) byte {
 
 // RenderCommMatrix draws the communication matrix as a text heat map
 // (rows: senders, columns: receivers), normalized to the busiest pair.
-func (c *Collector) RenderCommMatrix() string {
-	m := c.CommMatrix()
+func (c *Collector) RenderCommMatrix() string { return RenderCommMatrix(c) }
+
+// RenderCommMatrix draws an Aggregator's communication matrix as a text
+// heat map (rows: senders, columns: receivers), normalized to the busiest
+// pair. It works identically over either sink implementation.
+func RenderCommMatrix(a Aggregator) string {
+	m := a.CommMatrix()
 	var max int64 = 1
 	for _, row := range m {
 		for _, v := range row {
@@ -232,7 +284,7 @@ func (c *Collector) RenderCommMatrix() string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "communication matrix (%d ranks, max pair %d bytes):\n", c.Procs, max)
+	fmt.Fprintf(&b, "communication matrix (%d ranks, max pair %d bytes):\n", len(m), max)
 	for i, row := range m {
 		fmt.Fprintf(&b, "%3d |", i)
 		for _, v := range row {
@@ -245,7 +297,13 @@ func (c *Collector) RenderCommMatrix() string {
 
 // RenderUtilization draws per-rank compute utilization bars.
 func (c *Collector) RenderUtilization(horizon sim.Time) string {
-	util := c.Utilization(horizon)
+	return RenderUtilization(c, horizon)
+}
+
+// RenderUtilization draws an Aggregator's per-rank compute utilization
+// bars over the given horizon.
+func RenderUtilization(a Aggregator, horizon sim.Time) string {
+	util := a.Utilization(horizon)
 	var b strings.Builder
 	fmt.Fprintf(&b, "compute utilization over %v:\n", horizon)
 	for r, u := range util {
