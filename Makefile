@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-runpath chaos
+.PHONY: build test vet race check bench bench-runpath chaos chaos-resume
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,11 @@ bench-runpath:
 	$(GO) run ./cmd/bench -runpath -o results/BENCH_runpath.json -repeat 5
 
 # chaos regenerates results/chaos.csv: the fault-injection sensitivity
-# sweep at paper scale (deterministic; reruns hit the run cache).
+# sweep at paper scale (deterministic; reruns hit the run cache). An
+# interrupted run leaves results/chaos.journal; `make chaos-resume`
+# picks it up and re-simulates only the missing cells.
 chaos:
 	$(GO) run ./cmd/chaos -o results/chaos.csv
+
+chaos-resume:
+	$(GO) run ./cmd/chaos -o results/chaos.csv -resume

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"twolayer/internal/apps/fft"
 	"twolayer/internal/apps/tsp"
 	"twolayer/internal/apps/water"
+	"twolayer/internal/cliutil"
 	"twolayer/internal/core"
 	"twolayer/internal/network"
 	"twolayer/internal/sim"
@@ -292,7 +294,12 @@ func writeOut(out string, v any) error {
 		os.Stdout.Write(data)
 		return nil
 	}
-	return os.WriteFile(out, data, 0o644)
+	// Atomic replace: an interrupted bench run never leaves a truncated
+	// JSON report where a previous good one stood.
+	return cliutil.WriteFileAtomic(out, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
 }
 
 func main() {

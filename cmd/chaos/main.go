@@ -10,20 +10,29 @@
 //	chaos                          # paper scale, default fault grid
 //	chaos -scale small -drops 0,0.01,0.1 -outages 0,100ms
 //	chaos -o results/chaos.csv
+//	chaos -drops 1 -deadline 10s   # hostile WAN, bounded by supervision
+//	chaos -resume                  # continue an interrupted sweep
 //
-// Two runs with the same flags and seed produce byte-identical CSV files.
+// Two runs with the same flags and seed produce byte-identical CSV files —
+// including a run interrupted and continued with -resume. Supervised runs
+// (-deadline, -max-events, -progress-window) record cells that had to be
+// killed as explicit FAILED(reason) rows instead of aborting the sweep.
+//
+// Exit codes: 0 all cells completed, 1 harness error, 2 flag misuse,
+// 3 sweep completed with FAILED cells.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"twolayer/internal/apps"
+	"twolayer/internal/cliutil"
 	"twolayer/internal/core"
 	"twolayer/internal/network"
 	"twolayer/internal/sim"
@@ -31,9 +40,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		scaleF     = flag.String("scale", "paper", "problem scale: tiny, small or paper")
-		dropsF     = flag.String("drops", "", "comma-separated wide-area loss rates in [0,1), e.g. 0,0.01,0.05 (default the built-in grid)")
+		dropsF     = flag.String("drops", "", "comma-separated wide-area loss rates in [0,1], e.g. 0,0.01,1 (default the built-in grid; 1 = totally hostile WAN)")
 		outagesF   = flag.String("outages", "", "comma-separated outage durations, e.g. 0,100ms,300ms (default the built-in grid)")
 		period     = flag.Duration("period", time.Second, "outage repetition period")
 		latency    = flag.Duration("latency", 500*time.Microsecond, "one-way wide-area latency")
@@ -45,41 +58,60 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
+	sup := cliutil.RegisterSupervision("")
 	flag.Parse()
 
 	scale, ok := map[string]apps.Scale{"tiny": apps.Tiny, "small": apps.Small, "paper": apps.Paper}[*scaleF]
 	if !ok {
-		fatal(fmt.Errorf("unknown scale %q (want tiny, small or paper)", *scaleF))
+		return usage(fmt.Errorf("unknown scale %q (want tiny, small or paper)", *scaleF))
 	}
 	if *bandwidth <= 0 {
-		fatal(fmt.Errorf("-bandwidth must be positive (got %g MByte/s)", *bandwidth))
+		return usage(fmt.Errorf("-bandwidth must be positive (got %g MByte/s)", *bandwidth))
 	}
 	if *clusters < 1 {
-		fatal(fmt.Errorf("-clusters must be at least 1 (got %d)", *clusters))
+		return usage(fmt.Errorf("-clusters must be at least 1 (got %d)", *clusters))
 	}
 	if *perCluster < 1 {
-		fatal(fmt.Errorf("-percluster must be at least 1 (got %d)", *perCluster))
+		return usage(fmt.Errorf("-percluster must be at least 1 (got %d)", *perCluster))
 	}
 	if *seed < 0 {
-		fatal(fmt.Errorf("-seed must be non-negative (got %d)", *seed))
+		return usage(fmt.Errorf("-seed must be non-negative (got %d)", *seed))
 	}
 	drops, err := parseDrops(*dropsF)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	if drops == nil {
 		drops = core.DefaultChaosDrops
 	}
 	outages, err := parseOutages(*outagesF, sim.Time((*period).Nanoseconds()))
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	if outages == nil {
 		outages = core.DefaultChaosOutages
 	}
 	topo, err := topology.Uniform(*clusters, *perCluster)
 	if err != nil {
-		fatal(err)
+		return usage(err)
+	}
+	// The resume journal lives next to the CSV unless -journal overrides it:
+	// results/chaos.csv is rebuilt from results/chaos.journal.
+	if sup.JournalPath == "" && sup.Resume {
+		sup.JournalPath = journalFor(*out)
+	}
+	pol, cleanup, err := sup.Policy()
+	if err != nil {
+		return usage(err)
+	}
+	defer cleanup()
+	// A supervised-but-unjournaled sweep still writes the journal derived
+	// from -o, so a later -resume can pick up where a crash left off.
+	if pol != nil && pol.Journal == nil {
+		if j, err := core.OpenJournal(journalFor(*out), false); err == nil {
+			pol.Journal = j
+			defer j.Close()
+		}
 	}
 
 	cache := core.DefaultCache
@@ -98,24 +130,18 @@ func main() {
 		OutagePeriod: sim.Time((*period).Nanoseconds()),
 		Seed:         *seed,
 		Cache:        cache,
+		Policy:       pol,
 	}
 	points, err := core.ChaosStudy(cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	if dir := filepath.Dir(*out); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fatal(err)
-		}
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
-	}
-	core.WriteChaosCSV(f, points)
-	if err := f.Close(); err != nil {
-		fatal(err)
+	if err := cliutil.WriteFileAtomic(*out, func(w io.Writer) error {
+		core.WriteChaosCSV(w, points)
+		return nil
+	}); err != nil {
+		return fail(err)
 	}
 
 	fmt.Printf("chaos sensitivity at %s scale, %s, WAN %v / %.3g MByte/s, fault seed %d\n",
@@ -131,9 +157,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "run cache: %d memory hits, %d disk hits, %d simulated, %d stale\n",
 			s.Hits, s.DiskHits, s.Misses, s.Stale)
 	}
+	return cliutil.ReportOutcome(os.Stderr, "chaos", pol)
 }
 
-// parseDrops parses "-drops 0,0.01,0.1"; an empty flag keeps the default grid.
+// journalFor derives the sweep-journal path from the CSV output path:
+// results/chaos.csv -> results/chaos.journal.
+func journalFor(out string) string {
+	if i := strings.LastIndex(out, "."); i > strings.LastIndexByte(out, '/') {
+		out = out[:i]
+	}
+	return out + ".journal"
+}
+
+// parseDrops parses "-drops 0,0.01,1"; an empty flag keeps the default
+// grid. Rate 1 (total loss) is legal: it models a WAN so hostile that no
+// run completes, which is exactly what the supervision flags are for.
 func parseDrops(s string) ([]float64, error) {
 	if s == "" {
 		return nil, nil
@@ -144,8 +182,8 @@ func parseDrops(s string) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("-drops: bad rate %q: %v", part, err)
 		}
-		if v < 0 || v >= 1 {
-			return nil, fmt.Errorf("-drops: rate %g outside [0,1)", v)
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("-drops: rate %g outside [0,1]", v)
 		}
 		out = append(out, v)
 	}
@@ -185,7 +223,12 @@ func parseOutages(s string, period sim.Time) ([]sim.Time, error) {
 	return out, nil
 }
 
-func fatal(err error) {
+func usage(err error) int {
 	fmt.Fprintln(os.Stderr, "chaos:", err)
-	os.Exit(1)
+	return cliutil.ExitUsage
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "chaos:", err)
+	return cliutil.ExitHarness
 }

@@ -15,6 +15,15 @@
 //
 // Options: -scale tiny|small|paper (default paper), -apps Water,FFT,...,
 // -csv for machine-readable Figure 3 output.
+//
+// Long sweeps can be supervised: -deadline, -max-events, -max-vtime and
+// -progress-window bound each run, and cells that have to be killed render
+// as FAILED(reason) instead of aborting the sweep. A -journal file records
+// completed cells so an interrupted sweep continues with -resume, with
+// byte-identical output.
+//
+// Exit codes: 0 all cells completed, 1 harness error, 2 flag misuse,
+// 3 sweep completed with FAILED cells.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"strings"
 
 	"twolayer/internal/apps"
+	"twolayer/internal/cliutil"
 	"twolayer/internal/core"
 	"twolayer/internal/network"
 	"twolayer/internal/sim"
@@ -31,6 +41,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		table1   = flag.Bool("table1", false, "regenerate Table 1")
 		table2   = flag.Bool("table2", false, "regenerate Table 2")
@@ -47,11 +61,17 @@ func main() {
 		cacheDir = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
+	sup := cliutil.RegisterSupervision("")
 	flag.Parse()
 	scale, err := parseScale(*scaleF)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
+	pol, cleanup, err := sup.Policy()
+	if err != nil {
+		return usage(err)
+	}
+	defer cleanup()
 	if !*noCache {
 		if err := core.DefaultCache.SetDir(*cacheDir); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: run cache disabled: %v\n", err)
@@ -63,7 +83,7 @@ func main() {
 		for i, name := range filter {
 			filter[i] = strings.TrimSpace(name)
 			if _, err := core.AppByName(filter[i]); err != nil {
-				fatal(err)
+				return usage(err)
 			}
 		}
 	}
@@ -73,7 +93,7 @@ func main() {
 		ran = true
 		rows, err := core.Table1(scale)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println("Table 1: Single-Cluster Speedup and Traffic")
 		fmt.Println(core.RenderTable1(rows))
@@ -87,7 +107,7 @@ func main() {
 		ran = true
 		points, err := core.Figure1(scale)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println("Figure 1: Inter-cluster traffic, 4 clusters, 32 processors")
 		fmt.Println("(link: latency 0.5 ms, bandwidth 6.0 MByte/s; unoptimized programs)")
@@ -95,9 +115,9 @@ func main() {
 	}
 	var panels []core.Figure3Panel
 	if *fig3 || *gaps || *all {
-		panels, err = core.Figure3(scale, core.Figure3Options{Apps: filter})
+		panels, err = core.Figure3(scale, core.Figure3Options{Apps: filter, Policy: pol})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *fig3 || *all {
@@ -113,15 +133,15 @@ func main() {
 	}
 	if *fig4 || *all {
 		ran = true
-		bw, err := core.Figure4Bandwidth(scale)
+		bw, err := core.Figure4Bandwidth(scale, pol)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println("Figure 4 (left): inter-cluster communication time vs bandwidth at 3.3 ms")
 		fmt.Println(core.RenderFigure4(bw, "bandwidth B/s"))
-		lat, err := core.Figure4Latency(scale)
+		lat, err := core.Figure4Latency(scale, pol)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println("Figure 4 (right): inter-cluster communication time vs latency at 0.9 MByte/s")
 		fmt.Println(core.RenderFigure4(lat, "latency ms"))
@@ -136,9 +156,9 @@ func main() {
 	if *shapes || *all {
 		ran = true
 		results, err := core.ClusterShapeStudy(scale, []string{"Water", "ASP"},
-			3300*sim.Microsecond, 0.95e6)
+			3300*sim.Microsecond, 0.95e6, pol)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println("Cluster-structure study (32 processors, 3.3 ms, 0.95 MByte/s):")
 		fmt.Println(core.RenderShapes(results))
@@ -154,19 +174,20 @@ func main() {
 		}
 		results, err := core.VariabilityStudy(scale, base, v)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println("Wide-area variability study (base 10 ms / 1 MByte/s, optimized variants):")
 		fmt.Println(core.RenderVariability(results, v))
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		return cliutil.ExitUsage
 	}
 	if s := core.DefaultCache.CacheStats(); s.Hits+s.DiskHits+s.Misses > 0 {
 		fmt.Fprintf(os.Stderr, "run cache: %d memory hits, %d disk hits, %d simulated, %d stale\n",
 			s.Hits, s.DiskHits, s.Misses, s.Stale)
 	}
+	return cliutil.ReportOutcome(os.Stderr, "figures", pol)
 }
 
 func renderCSV(p core.Figure3Panel) {
@@ -177,10 +198,14 @@ func renderCSV(p core.Figure3Panel) {
 	}
 	for i, lat := range p.Latencies {
 		for j, bw := range p.Bandwidths {
+			value := fmt.Sprintf("%.2f", p.Rel[i][j])
+			if k := p.FailedAt(i, j); k != "" {
+				value = core.FailedCell(k)
+			}
 			t.AddRow(p.App, variant,
 				fmt.Sprintf("%.4g", lat.Milliseconds()),
 				fmt.Sprintf("%.4g", bw/1e6),
-				fmt.Sprintf("%.2f", p.Rel[i][j]))
+				value)
 		}
 	}
 	t.CSV(os.Stdout)
@@ -198,7 +223,12 @@ func parseScale(s string) (apps.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q", s)
 }
 
-func fatal(err error) {
+func usage(err error) int {
 	fmt.Fprintln(os.Stderr, "figures:", err)
-	os.Exit(1)
+	return cliutil.ExitUsage
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	return cliutil.ExitHarness
 }

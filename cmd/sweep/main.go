@@ -5,6 +5,13 @@
 // Example:
 //
 //	sweep -app Water -optimized -latency 30ms -bandwidth 0.3 -clusters 4 -percluster 8
+//
+// The run can be supervised: -deadline bounds it in wall-clock time,
+// -max-events / -max-vtime in simulation effort, and -progress-window arms
+// the livelock watchdog. A supervised kill prints the structured
+// diagnostic report (per-process block reasons, mailbox depths,
+// reliable-channel state) and exits 3; harness errors exit 1, flag misuse
+// exits 2.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"time"
 
 	"twolayer/internal/apps"
+	"twolayer/internal/cliutil"
 	"twolayer/internal/core"
 	"twolayer/internal/network"
 	"twolayer/internal/sim"
@@ -24,6 +32,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		appName    = flag.String("app", "Water", "application: Water, Barnes-Hut, TSP, ASP, Awari or FFT")
 		optimized  = flag.Bool("optimized", false, "use the cluster-aware variant")
@@ -43,17 +55,23 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
+	sup := cliutil.RegisterSupervision("")
 	flag.Parse()
 
 	if *bandwidth <= 0 {
-		fatal(fmt.Errorf("-bandwidth must be positive (got %g MByte/s)", *bandwidth))
+		return usage(fmt.Errorf("-bandwidth must be positive (got %g MByte/s)", *bandwidth))
 	}
 	if *clusters < 1 {
-		fatal(fmt.Errorf("-clusters must be at least 1 (got %d)", *clusters))
+		return usage(fmt.Errorf("-clusters must be at least 1 (got %d)", *clusters))
 	}
 	if *perCluster < 1 {
-		fatal(fmt.Errorf("-percluster must be at least 1 (got %d)", *perCluster))
+		return usage(fmt.Errorf("-percluster must be at least 1 (got %d)", *perCluster))
 	}
+	pol, cleanup, err := sup.Policy()
+	if err != nil {
+		return usage(err)
+	}
+	defer cleanup()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -82,11 +100,11 @@ func main() {
 
 	scale, ok := map[string]apps.Scale{"tiny": apps.Tiny, "small": apps.Small, "paper": apps.Paper}[*scaleF]
 	if !ok {
-		fatal(fmt.Errorf("unknown scale %q (want tiny, small or paper)", *scaleF))
+		return usage(fmt.Errorf("unknown scale %q (want tiny, small or paper)", *scaleF))
 	}
 	app, err := core.AppByName(*appName)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	topo, err := topology.Uniform(*clusters, *perCluster)
 	if err != nil {
@@ -132,9 +150,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: run cache disabled: %v\n", err)
 		}
 	}
-	res, err := x.RunCached(core.DefaultCache)
+	label := fmt.Sprintf("%s (optimized=%v) on %s", app.Name, *optimized, topo)
+	res, failed, err := core.SupervisedRun(pol, label, x, core.DefaultCache)
 	if err != nil {
 		fatal(err)
+	}
+	if failed != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %s\n", failed)
+		if rep := core.FailureReport(failed); rep != "" {
+			fmt.Fprintf(os.Stderr, "\n%s", rep)
+		}
+		return cliutil.ExitFailed
 	}
 
 	base := core.NewBaselines(scale)
@@ -183,6 +209,12 @@ func main() {
 			fmt.Printf("  %3d -> %3d: %d bytes\n", p.Src, p.Dst, p.Bytes)
 		}
 	}
+	return cliutil.ExitOK
+}
+
+func usage(err error) int {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	return cliutil.ExitUsage
 }
 
 func fatal(err error) {

@@ -52,6 +52,11 @@ type ChaosConfig struct {
 	Seed int64
 	// Cache memoizes runs; nil disables memoization.
 	Cache *RunCache
+	// Policy supervises the sweep: budgets and deadlines bound each cell,
+	// supervised kills become FAILED cells instead of aborting the study,
+	// and an attached journal makes the sweep crash-resumable. Nil runs
+	// unsupervised (any error aborts, the historical behaviour).
+	Policy *RunPolicy
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -91,6 +96,10 @@ type ChaosPoint struct {
 	// Transport and Faults record the protocol effort spent healing the run.
 	Transport trace.TransportStats
 	Faults    network.FaultStats
+	// Failed is the stable failure kind ("deadline", "livelock",
+	// "retry-cap", ...) when the run policy gave up on this cell; "" for a
+	// completed run. A failed point carries no timing or protocol data.
+	Failed string `json:",omitempty"`
 }
 
 // chaosVariants mirrors the golden-run variant list: every application
@@ -134,6 +143,11 @@ func ChaosStudy(cfg ChaosConfig) ([]ChaosPoint, error) {
 		nd, no := len(cfg.Drops), len(cfg.Outages)
 		return variants[i/(nd*no)], cfg.Drops[i/no%nd], cfg.Outages[i%no]
 	}
+	label := func(i int) string {
+		v, drop, outage := cell(i)
+		return fmt.Sprintf("chaos %s (%s) drop=%g outage=%v",
+			v.app.Name, variantName(v.opt), drop, outage)
+	}
 	err := forEachWeighted(len(points),
 		func(i int) float64 {
 			// Unoptimized variants and heavier faults simulate more virtual
@@ -145,6 +159,7 @@ func ChaosStudy(cfg ChaosConfig) ([]ChaosPoint, error) {
 			}
 			return w
 		},
+		label,
 		func(i int) error {
 			v, drop, outage := cell(i)
 			f := faults.Params{DropRate: drop, Seed: cfg.Seed}
@@ -152,13 +167,20 @@ func ChaosStudy(cfg ChaosConfig) ([]ChaosPoint, error) {
 				f.OutagePeriod = cfg.OutagePeriod
 				f.OutageDuration = outage
 			}
-			res, err := Experiment{
+			res, fail, err := cfg.Policy.run(label(i), Experiment{
 				App: v.app, Scale: cfg.Scale, Optimized: v.opt,
 				Topo: cfg.Topo, Params: cfg.Params, Faults: f,
-			}.RunCached(cfg.Cache)
+			}, cfg.Cache)
 			if err != nil {
-				return fmt.Errorf("chaos %s opt=%v drop=%g outage=%v: %w",
-					v.app.Name, v.opt, drop, outage, err)
+				return err
+			}
+			if fail != nil {
+				points[i] = ChaosPoint{
+					App: v.app.Name, Optimized: v.opt,
+					DropRate: drop, OutageDuration: outage,
+					Failed: fail.Kind,
+				}
+				return nil
 			}
 			tl, err := base.SingleCluster(v.app, cfg.Topo.Procs())
 			if err != nil {
@@ -201,6 +223,11 @@ func ChaosThresholds(points []ChaosPoint) []ChaosThreshold {
 	var order []key
 	rows := make(map[key]*ChaosThreshold)
 	for _, p := range points {
+		if p.Failed != "" {
+			// A killed run carries no speedup; it must not masquerade as
+			// "fell below the criterion at this fault level".
+			continue
+		}
 		k := key{p.App, p.Optimized}
 		t, ok := rows[k]
 		if !ok {
@@ -260,16 +287,26 @@ func RenderChaosSummary(points []ChaosPoint) string {
 
 // WriteChaosCSV emits the full grid as CSV. The formatting is fixed-point
 // and the row order deterministic, so two same-seed studies produce
-// byte-identical files.
+// byte-identical files. Cells the run policy gave up on appear as explicit
+// FAILED(reason) rows in the status column with empty metrics, so a
+// degraded sweep still documents its whole grid.
 func WriteChaosCSV(w io.Writer, points []ChaosPoint) {
-	t := stats.NewTable("app", "variant", "drop_rate", "outage_ms",
+	t := stats.NewTable("app", "variant", "drop_rate", "outage_ms", "status",
 		"elapsed_ms", "relative_speedup_pct",
 		"timeouts", "retransmits", "acks",
 		"dropped", "outage_dropped", "duplicated")
 	for _, p := range points {
+		if p.Failed != "" {
+			t.AddRow(p.App, variantName(p.Optimized),
+				fmt.Sprintf("%g", p.DropRate),
+				fmt.Sprintf("%.1f", float64(p.OutageDuration)/float64(sim.Millisecond)),
+				FailedCell(p.Failed), "", "", "", "", "", "", "", "")
+			continue
+		}
 		t.AddRow(p.App, variantName(p.Optimized),
 			fmt.Sprintf("%g", p.DropRate),
 			fmt.Sprintf("%.1f", float64(p.OutageDuration)/float64(sim.Millisecond)),
+			"ok",
 			fmt.Sprintf("%.3f", float64(p.Elapsed)/float64(sim.Millisecond)),
 			fmt.Sprintf("%.2f", p.RelSpeedupPct),
 			fmt.Sprint(p.Transport.Timeouts),

@@ -186,9 +186,9 @@ func figure4SmallForTest(byBandwidth bool) ([]Figure4Curve, error) {
 	Latencies = []sim.Time{500 * sim.Microsecond, 30 * sim.Millisecond}
 	defer func() { Bandwidths, Latencies = saveB, saveL }()
 	if byBandwidth {
-		return Figure4Bandwidth(apps.Small)
+		return Figure4Bandwidth(apps.Small, nil)
 	}
-	return Figure4Latency(apps.Small)
+	return Figure4Latency(apps.Small, nil)
 }
 
 func TestGapAnalysis(t *testing.T) {
@@ -315,7 +315,7 @@ func TestFigure1TrafficOrdering(t *testing.T) {
 
 func TestClusterShapeStudy(t *testing.T) {
 	results, err := ClusterShapeStudy(apps.Small, []string{"Water"},
-		3300*sim.Microsecond, 0.95e6)
+		3300*sim.Microsecond, 0.95e6, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,14 +57,22 @@ type diskEntry struct {
 	Result      par.Result
 }
 
-// entryPath derives the flat content-addressed filename for a key.
-func entryPath(dir string, key RunKey) string {
+// keyHash is the content address of a RunKey: sha256 of its canonical JSON
+// encoding, truncated to 128 bits. The disk cache uses it as a filename;
+// the full key is stored alongside and compared on load, so a collision
+// degrades to a miss, never to a wrong result.
+func keyHash(key RunKey) string {
 	b, err := json.Marshal(key)
 	if err != nil {
 		panic("core: run key not serializable: " + err.Error())
 	}
 	sum := sha256.Sum256(b)
-	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".json")
+	return hex.EncodeToString(sum[:16])
+}
+
+// entryPath derives the flat content-addressed filename for a key.
+func entryPath(dir string, key RunKey) string {
+	return filepath.Join(dir, keyHash(key)+".json")
 }
 
 // loadDisk looks key up in dir. ok reports a usable hit; stale reports

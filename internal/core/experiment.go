@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -83,17 +84,28 @@ type Experiment struct {
 	// wide-area traffic through the reliable transport and remain fully
 	// deterministic, so they cache like any other run.
 	Faults faults.Params
+	// Budget bounds the run (event/virtual-time ceilings, livelock
+	// watchdog). Budgets are pure supervision: a run that completes within
+	// them is bit-identical to an unbudgeted one, so Budget is deliberately
+	// NOT part of the cache key. Zero means unlimited — the default for
+	// golden runs, which therefore keep their historical cache keys.
+	Budget sim.Budget
+	// Ctx, if non-nil, imposes a wall-clock deadline: when it expires the
+	// run stops with a sim.StopDeadline error. Like Budget it never affects
+	// a run that completes, and is not part of the cache key.
+	Ctx context.Context
 }
 
 // Run executes the experiment.
 func (x Experiment) Run() (par.Result, error) {
 	inst := x.App.New(x.Scale, x.Topo.Procs())
-	res, err := par.RunWith(x.Topo, par.Options{
+	res, err := par.RunWithContext(x.Ctx, x.Topo, par.Options{
 		Params:    x.Params,
 		Seed:      DefaultSeed,
 		Configure: x.Configure,
 		Trace:     x.Trace,
 		Faults:    x.Faults,
+		Budget:    x.Budget,
 	}, inst.Job(x.Optimized))
 	if err != nil {
 		return res, fmt.Errorf("core: %s (opt=%v) on %v: %w", x.App.Name, x.Optimized, x.Topo, err)
@@ -195,7 +207,7 @@ func parallelism() int {
 // runs to completion even if others fail, and all errors are reported
 // (joined in index order), so one bad cell in a sweep cannot mask another.
 func forEach(n int, fn func(i int) error) error {
-	return forEachWeighted(n, nil, fn)
+	return forEachWeighted(n, nil, nil, fn)
 }
 
 // forEachWeighted is forEach with longest-job-first scheduling: when
@@ -204,7 +216,11 @@ func forEach(n int, fn func(i int) error) error {
 // unoptimized Awari run simulates far more virtual time than a fast-WAN
 // TSP run); starting the heavy cells first keeps the pool's tail short
 // instead of leaving one straggler running alone at the end.
-func forEachWeighted(n int, weight func(i int) float64, fn func(i int) error) error {
+//
+// When label is non-nil, a failing shard's error is wrapped with its cell
+// identity, so a joined sweep error names exactly which cells failed
+// instead of presenting an anonymous pile.
+func forEachWeighted(n int, weight func(i int) float64, label func(i int) string, fn func(i int) error) error {
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -226,7 +242,11 @@ func forEachWeighted(n int, weight func(i int) float64, fn func(i int) error) er
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = fn(i)
+			if err := fn(i); err != nil && label != nil {
+				errs[i] = fmt.Errorf("%s: %w", label(i), err)
+			} else {
+				errs[i] = err
+			}
 		}()
 	}
 	wg.Wait()

@@ -21,6 +21,11 @@ type Figure3Panel struct {
 	Latencies  []sim.Time
 	Bandwidths []float64
 	Rel        [][]float64
+	// Failed, when non-nil, marks cells the run policy gave up on:
+	// Failed[i][j] is the stable failure kind ("deadline", "livelock", ...)
+	// or "" for a healthy cell. It is nil when every cell succeeded, so
+	// fully healthy sweeps keep their historical encoding.
+	Failed [][]string `json:",omitempty"`
 }
 
 // Figure3Options narrows a sweep.
@@ -37,6 +42,9 @@ type Figure3Options struct {
 	// shared with other sweeps (Figure 4 points, gap-analysis inputs,
 	// single-cluster baselines) are then simulated only once per process.
 	Cache *RunCache
+	// Policy supervises the sweep (budgets, deadline, per-cell
+	// degradation, resume journal); nil runs unsupervised.
+	Policy *RunPolicy
 }
 
 // Figure3 sweeps the grid and returns one panel per (application, variant)
@@ -88,9 +96,11 @@ func Figure3(scale apps.Scale, opts Figure3Options) ([]Figure3Panel, error) {
 			Latencies:  lats,
 			Bandwidths: bws,
 			Rel:        make([][]float64, len(lats)),
+			Failed:     make([][]string, len(lats)),
 		}
 		for i := range lats {
 			panels[v].Rel[i] = make([]float64, len(bws))
+			panels[v].Failed[i] = make([]string, len(bws))
 			for j := range bws {
 				cells = append(cells, cell{v, i, j})
 			}
@@ -111,15 +121,25 @@ func Figure3(scale apps.Scale, opts Figure3Options) ([]Figure3Panel, error) {
 		c := cells[k]
 		return float64(baseElapsed[c.v]) * (1 + float64(lats[c.i]))
 	}
-	err := forEachWeighted(len(cells), weight, func(k int) error {
+	label := func(k int) string {
 		c := cells[k]
 		v := variants[c.v]
-		res, err := Experiment{
+		return fmt.Sprintf("%s (%s) lat=%v bw=%gMB/s",
+			v.app.Name, variantName(v.opt), lats[c.i], bws[c.j]/1e6)
+	}
+	err := forEachWeighted(len(cells), weight, label, func(k int) error {
+		c := cells[k]
+		v := variants[c.v]
+		res, fail, err := opts.Policy.run(label(k), Experiment{
 			App: v.app, Scale: scale, Optimized: v.opt, Topo: topo,
 			Params: network.DefaultParams().WithWAN(lats[c.i], bws[c.j]),
-		}.RunCached(cache)
+		}, cache)
 		if err != nil {
 			return err
+		}
+		if fail != nil {
+			panels[c.v].Failed[c.i][c.j] = fail.Kind
+			return nil
 		}
 		tl, err := base.SingleCluster(v.app, topo.Procs())
 		if err != nil {
@@ -128,6 +148,21 @@ func Figure3(scale apps.Scale, opts Figure3Options) ([]Figure3Panel, error) {
 		panels[c.v].Rel[c.i][c.j] = RelativeSpeedup(tl, res.Elapsed)
 		return nil
 	})
+	// A fully healthy panel drops its Failed grid, keeping the historical
+	// shape (and JSON encoding) for sweeps that never fail.
+	for v := range panels {
+		healthy := true
+		for _, row := range panels[v].Failed {
+			for _, r := range row {
+				if r != "" {
+					healthy = false
+				}
+			}
+		}
+		if healthy {
+			panels[v].Failed = nil
+		}
+	}
 	return panels, err
 }
 
@@ -155,11 +190,24 @@ func RenderFigure3Panel(p Figure3Panel) string {
 	for i, lat := range p.Latencies {
 		row := []any{lat.String()}
 		for j := range p.Bandwidths {
-			row = append(row, fmt.Sprintf("%.1f%%", p.Rel[i][j]))
+			if k := p.FailedAt(i, j); k != "" {
+				row = append(row, FailedCell(k))
+			} else {
+				row = append(row, fmt.Sprintf("%.1f%%", p.Rel[i][j]))
+			}
 		}
 		t.AddRow(row...)
 	}
 	return t.String()
+}
+
+// FailedAt returns the failure kind recorded for cell (i, j), "" when the
+// cell succeeded (or the panel has no failures at all).
+func (p Figure3Panel) FailedAt(i, j int) string {
+	if p.Failed == nil {
+		return ""
+	}
+	return p.Failed[i][j]
 }
 
 // Figure4Curve is one application's inter-cluster communication-time
@@ -169,62 +217,82 @@ type Figure4Curve struct {
 	Optimized bool
 	X         []float64 // bandwidth in bytes/s or latency in ms
 	CommPct   []float64
+	// Failed, when non-nil, parallels X: the failure kind of each point
+	// the run policy gave up on, "" for healthy points. Nil when the whole
+	// curve succeeded.
+	Failed []string `json:",omitempty"`
 }
 
 // Figure4Bandwidth reproduces the left-hand graph: communication time
 // percentage as a function of wide-area bandwidth at 3.3 ms latency,
 // for the best (optimized where available) variant of each application.
-func Figure4Bandwidth(scale apps.Scale) ([]Figure4Curve, error) {
-	return figure4(scale, true)
+// pol supervises the sweep; nil runs unsupervised.
+func Figure4Bandwidth(scale apps.Scale, pol *RunPolicy) ([]Figure4Curve, error) {
+	return figure4(scale, true, pol)
 }
 
 // Figure4Latency reproduces the right-hand graph: communication time
 // percentage as a function of wide-area latency at 0.9 MByte/s.
-func Figure4Latency(scale apps.Scale) ([]Figure4Curve, error) {
-	return figure4(scale, false)
+func Figure4Latency(scale apps.Scale, pol *RunPolicy) ([]Figure4Curve, error) {
+	return figure4(scale, false, pol)
 }
 
-func figure4(scale apps.Scale, byBandwidth bool) ([]Figure4Curve, error) {
+func figure4(scale apps.Scale, byBandwidth bool, pol *RunPolicy) ([]Figure4Curve, error) {
 	const fixedLatency = 3300 * sim.Microsecond
 	const fixedBandwidth = 0.9e6
 	base := NewBaselines(scale)
 	suite := Apps()
 	curves := make([]Figure4Curve, len(suite))
-	err := forEach(len(suite), func(i int) error {
-		app := suite[i]
-		tl, err := base.SingleCluster(app, topology.DAS().Procs())
-		if err != nil {
-			return err
-		}
-		curve := Figure4Curve{App: app.Name, Optimized: app.HasOptimized}
-		var xs []float64
-		if byBandwidth {
-			xs = Bandwidths
-		} else {
-			for _, l := range Latencies {
-				xs = append(xs, l.Milliseconds())
-			}
-		}
-		for k, x := range xs {
-			params := network.DefaultParams()
-			if byBandwidth {
-				params = params.WithWAN(fixedLatency, x)
-			} else {
-				params = params.WithWAN(Latencies[k], fixedBandwidth)
-			}
-			res, err := Experiment{
-				App: app, Scale: scale, Optimized: app.HasOptimized,
-				Topo: topology.DAS(), Params: params,
-			}.RunCached(DefaultCache)
+	err := forEachWeighted(len(suite), nil,
+		func(i int) string { return fmt.Sprintf("%s figure4 curve", suite[i].Name) },
+		func(i int) error {
+			app := suite[i]
+			tl, err := base.SingleCluster(app, topology.DAS().Procs())
 			if err != nil {
 				return err
 			}
-			curve.X = append(curve.X, x)
-			curve.CommPct = append(curve.CommPct, CommTimePercent(tl, res.Elapsed))
-		}
-		curves[i] = curve
-		return nil
-	})
+			curve := Figure4Curve{App: app.Name, Optimized: app.HasOptimized}
+			var xs []float64
+			if byBandwidth {
+				xs = Bandwidths
+			} else {
+				for _, l := range Latencies {
+					xs = append(xs, l.Milliseconds())
+				}
+			}
+			anyFailed := false
+			for k, x := range xs {
+				params := network.DefaultParams()
+				if byBandwidth {
+					params = params.WithWAN(fixedLatency, x)
+				} else {
+					params = params.WithWAN(Latencies[k], fixedBandwidth)
+				}
+				label := fmt.Sprintf("%s (%s) figure4 x=%g",
+					app.Name, variantName(app.HasOptimized), x)
+				res, fail, err := pol.run(label, Experiment{
+					App: app, Scale: scale, Optimized: app.HasOptimized,
+					Topo: topology.DAS(), Params: params,
+				}, DefaultCache)
+				if err != nil {
+					return err
+				}
+				curve.X = append(curve.X, x)
+				if fail != nil {
+					anyFailed = true
+					curve.CommPct = append(curve.CommPct, 0)
+					curve.Failed = append(curve.Failed, fail.Kind)
+					continue
+				}
+				curve.CommPct = append(curve.CommPct, CommTimePercent(tl, res.Elapsed))
+				curve.Failed = append(curve.Failed, "")
+			}
+			if !anyFailed {
+				curve.Failed = nil
+			}
+			curves[i] = curve
+			return nil
+		})
 	return curves, err
 }
 
@@ -242,7 +310,11 @@ func RenderFigure4(curves []Figure4Curve, xLabel string) string {
 	for k := range curves[0].X {
 		row := []any{fmt.Sprintf("%.4g", curves[0].X[k])}
 		for _, c := range curves {
-			row = append(row, fmt.Sprintf("%.1f%%", c.CommPct[k]))
+			if c.Failed != nil && c.Failed[k] != "" {
+				row = append(row, FailedCell(c.Failed[k]))
+			} else {
+				row = append(row, fmt.Sprintf("%.1f%%", c.CommPct[k]))
+			}
 		}
 		t.AddRow(row...)
 	}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"twolayer/internal/par"
+)
+
+// A Journal makes long sweeps crash-resumable: every completed cell is
+// appended to an on-disk log as soon as it finishes, and a rerun with
+// -resume replays those cells instead of re-simulating them. Because every
+// recorded run is deterministic (journal entries are keyed by the same
+// RunKey the run cache uses, under the same code fingerprint), a resumed
+// sweep produces byte-identical output to an uninterrupted one.
+//
+// The format is deliberately line-oriented and self-checking: one record
+// per line, `<16 hex chars> <payload JSON>\n`, where the prefix is the
+// first 8 bytes of sha256(payload). Records are written with a single
+// append, so a crash mid-write can only tear the final line — and the
+// reader fails open, skipping any line whose checksum, JSON, fingerprint
+// or length is wrong. A damaged record is never served; its cell simply
+// re-runs.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	done      map[RunKey]par.Result
+	recovered int
+}
+
+// journalRecord is the JSON payload of one line. The short field names keep
+// paper-scale journals (hundreds of cells with per-proc slices) compact.
+type journalRecord struct {
+	F string // code fingerprint, same notion as the disk cache's
+	K RunKey
+	R par.Result
+}
+
+// journalChecksumLen is the hex length of the per-line checksum prefix.
+const journalChecksumLen = 16
+
+// OpenJournal opens (creating if needed) the journal at path. With resume
+// set, existing records are recovered first — fail-open, see recover — and
+// new records append after them; without it the file is truncated and the
+// sweep starts from nothing.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{done: make(map[RunKey]par.Result)}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: journal: %w", err)
+		}
+	}
+	if resume {
+		if data, err := os.ReadFile(path); err == nil {
+			j.recover(data)
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// recover parses journal bytes fail-open: a truncated tail, a corrupted
+// checksum, unparsable JSON, or a record written by a different build all
+// skip that line (the cell re-runs) and never abort the sweep. It is split
+// out from OpenJournal so the fuzz test can feed it arbitrary garbage.
+func (j *Journal) recover(data []byte) {
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) < journalChecksumLen+2 || line[journalChecksumLen] != ' ' {
+			continue
+		}
+		sumHex, payload := line[:journalChecksumLen], line[journalChecksumLen+1:]
+		sum := sha256.Sum256(payload)
+		if hex.EncodeToString(sum[:journalChecksumLen/2]) != string(sumHex) {
+			continue
+		}
+		var rec journalRecord
+		if json.Unmarshal(payload, &rec) != nil || rec.F != Fingerprint() {
+			continue
+		}
+		if _, dup := j.done[rec.K]; !dup {
+			j.recovered++
+		}
+		j.done[rec.K] = rec.R
+	}
+}
+
+// Recovered reports how many distinct completed cells OpenJournal salvaged
+// from an earlier, interrupted sweep.
+func (j *Journal) Recovered() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered
+}
+
+// Lookup returns the journaled result for key, if an earlier sweep
+// completed that cell. The result is cloned; callers own it.
+func (j *Journal) Lookup(key RunKey) (par.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.done[key]
+	if !ok {
+		return par.Result{}, false
+	}
+	return cloneResult(r), true
+}
+
+// Record appends the completed cell to the journal. Duplicate keys are
+// dropped (a resumed sweep may race a recovered record). Disk errors are
+// deliberately ignored: the journal is an optimization, and a sweep must
+// never fail because its resume log could not be written.
+func (j *Journal) Record(key RunKey, res par.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	if _, dup := j.done[key]; dup {
+		return
+	}
+	j.done[key] = cloneResult(res)
+	payload, err := json.Marshal(journalRecord{F: Fingerprint(), K: key, R: res})
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(payload)
+	line := make([]byte, 0, journalChecksumLen+2+len(payload))
+	line = append(line, hex.EncodeToString(sum[:journalChecksumLen/2])...)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	j.f.Write(line) // one append-mode write: a crash tears at most this line
+}
+
+// Close flushes and closes the underlying file. Lookup keeps working on the
+// in-memory records; Record becomes a no-op.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

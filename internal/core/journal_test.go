@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+)
+
+// journalFixture builds a journal with three known records and returns the
+// keys, the canonical results, and the raw on-disk bytes.
+func journalFixture(t *testing.T) ([]RunKey, []par.Result, []byte) {
+	t.Helper()
+	keys := []RunKey{
+		{App: "TSP", Scale: apps.Tiny, Topo: "4x8", Params: chaosParams(), Seed: DefaultSeed},
+		{App: "Water", Scale: apps.Tiny, Topo: "4x8", Params: chaosParams(), Seed: DefaultSeed},
+		{App: "ASP", Scale: apps.Small, Optimized: true, Topo: "2x16", Params: chaosParams(), Seed: DefaultSeed},
+	}
+	results := []par.Result{
+		{Elapsed: 123 * sim.Millisecond, Events: 99, PerProcFinish: []sim.Time{1, 2}},
+		{Elapsed: 456 * sim.Millisecond, Events: 1234},
+		{Elapsed: 789 * sim.Millisecond, Events: 777, PerProcCompute: []sim.Time{3, 4, 5}},
+	}
+	path := filepath.Join(t.TempDir(), "fixture.journal")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		j.Record(keys[i], results[i])
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys, results, data
+}
+
+// TestJournalRoundTrip: records written by one journal are recovered
+// intact by a resumed one, and lookups return private clones.
+func TestJournalRoundTrip(t *testing.T) {
+	keys, results, data := journalFixture(t)
+	j := &Journal{done: make(map[RunKey]par.Result)}
+	j.recover(data)
+	if j.recovered != len(keys) {
+		t.Fatalf("recovered %d records, want %d", j.recovered, len(keys))
+	}
+	for i, k := range keys {
+		got, ok := j.Lookup(k)
+		if !ok {
+			t.Fatalf("key %d missing after recovery", i)
+		}
+		if !reflect.DeepEqual(got, results[i]) {
+			t.Errorf("key %d: recovered %+v, want %+v", i, got, results[i])
+		}
+		if got.PerProcFinish != nil {
+			got.PerProcFinish[0] = 999 // mutating the clone must not reach the journal
+			again, _ := j.Lookup(k)
+			if again.PerProcFinish[0] == 999 {
+				t.Error("Lookup returned a shared slice")
+			}
+		}
+	}
+}
+
+// TestJournalTruncationFailOpen: every possible crash point — the file cut
+// at any byte offset — must recover cleanly: no error, no partial record
+// served, every record that is served bit-equal to the original.
+func TestJournalTruncationFailOpen(t *testing.T) {
+	keys, results, data := journalFixture(t)
+	byKey := make(map[RunKey]par.Result, len(keys))
+	for i := range keys {
+		byKey[keys[i]] = results[i]
+	}
+	for off := 0; off <= len(data); off++ {
+		j := &Journal{done: make(map[RunKey]par.Result)}
+		j.recover(data[:off])
+		if j.recovered > len(keys) {
+			t.Fatalf("offset %d: recovered %d > %d records", off, j.recovered, len(keys))
+		}
+		for k, want := range byKey {
+			if got, ok := j.Lookup(k); ok && !reflect.DeepEqual(got, want) {
+				t.Fatalf("offset %d: served a corrupt record for %s", off, k.App)
+			}
+		}
+	}
+	// Full data recovers everything; cutting the final newline plus one
+	// byte must lose exactly the last record.
+	j := &Journal{done: make(map[RunKey]par.Result)}
+	j.recover(data[:len(data)-2])
+	if j.recovered != len(keys)-1 {
+		t.Errorf("torn tail: recovered %d, want %d", j.recovered, len(keys)-1)
+	}
+}
+
+// TestJournalCorruptionFailOpen flips a byte inside each record's payload:
+// the checksum must reject exactly that record and keep the rest.
+func TestJournalCorruptionFailOpen(t *testing.T) {
+	keys, _, data := journalFixture(t)
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte{'\n'}), []byte{'\n'})
+	if len(lines) != len(keys) {
+		t.Fatalf("fixture has %d lines, want %d", len(lines), len(keys))
+	}
+	for i := range lines {
+		mutated := make([][]byte, len(lines))
+		for k := range lines {
+			mutated[k] = append([]byte(nil), lines[k]...)
+		}
+		mutated[i][len(mutated[i])/2] ^= 0x40 // flip one payload byte
+		j := &Journal{done: make(map[RunKey]par.Result)}
+		j.recover(append(bytes.Join(mutated, []byte{'\n'}), '\n'))
+		if j.recovered != len(keys)-1 {
+			t.Errorf("corrupting record %d: recovered %d, want %d", i, j.recovered, len(keys)-1)
+		}
+		if _, ok := j.Lookup(keys[i]); ok {
+			t.Errorf("corrupted record %d was served", i)
+		}
+	}
+}
+
+// TestJournalForeignFingerprint: a record with a valid checksum but a
+// foreign code fingerprint (a different golden table or toolchain) is
+// skipped, never served.
+func TestJournalForeignFingerprint(t *testing.T) {
+	key := RunKey{App: "TSP", Scale: apps.Tiny, Topo: "4x8", Params: chaosParams(), Seed: DefaultSeed}
+	payload, err := json.Marshal(journalRecord{
+		F: "feedfacefeedfacefeedfacefeedface",
+		K: key,
+		R: par.Result{Elapsed: sim.Millisecond, Events: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(payload)
+	line := hex.EncodeToString(sum[:journalChecksumLen/2]) + " " + string(payload) + "\n"
+	j := &Journal{done: make(map[RunKey]par.Result)}
+	j.recover([]byte(line))
+	if j.recovered != 0 {
+		t.Errorf("recovered %d foreign records, want 0", j.recovered)
+	}
+	if _, ok := j.Lookup(key); ok {
+		t.Fatal("served a foreign-fingerprint record")
+	}
+}
+
+// TestResumeByteIdentical is the crash-resume contract: a chaos sweep
+// interrupted partway (journal truncated to a prefix) and resumed with
+// fresh caches must emit a CSV byte-identical to the uninterrupted run's —
+// with the surviving cells replayed from the journal, not re-simulated.
+func TestResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chaos.journal")
+	cfg := func(pol *RunPolicy) ChaosConfig {
+		return ChaosConfig{
+			Scale:   apps.Tiny,
+			Params:  chaosParams(),
+			Drops:   []float64{0, 0.04},
+			Outages: []sim.Time{0},
+			Cache:   NewRunCache(),
+			Policy:  pol,
+		}
+	}
+	render := func(points []ChaosPoint) string {
+		var b strings.Builder
+		WriteChaosCSV(&b, points)
+		return b.String()
+	}
+
+	j1, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol1 := &RunPolicy{Journal: j1}
+	points, err := ChaosStudy(cfg(pol1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := render(points)
+
+	// Simulate a crash partway: keep only the first half of the journal.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte{'\n'})
+	if len(lines) < 4 {
+		t.Fatalf("journal too small to truncate meaningfully: %d lines", len(lines))
+	}
+	kept := len(lines) / 2
+	if err := os.WriteFile(path, bytes.Join(lines[:kept], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol2 := &RunPolicy{Journal: j2}
+	resumed, err := ChaosStudy(cfg(pol2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pol2.Skipped(); got != kept {
+		t.Errorf("resumed run skipped %d cells, journal held %d", got, kept)
+	}
+	if got := render(resumed); got != full {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n--- full ---\n%s--- resumed ---\n%s", full, got)
+	}
+	// The journal is complete again after the resumed sweep: a third run
+	// must simulate nothing.
+	j3, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	pol3 := &RunPolicy{Journal: j3}
+	if _, err := ChaosStudy(cfg(pol3)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pol3.Skipped(), len(points); got != want {
+		t.Errorf("third run skipped %d cells, want all %d", got, want)
+	}
+}
+
+// FuzzJournalReader feeds the journal reader arbitrary bytes: it must
+// never panic, and any record it does serve for a known key must be the
+// canonical one (the checksum gate, not luck, guarantees this).
+func FuzzJournalReader(f *testing.F) {
+	keys := []RunKey{
+		{App: "TSP", Scale: apps.Tiny, Topo: "4x8", Params: chaosParams(), Seed: DefaultSeed},
+	}
+	canon := par.Result{Elapsed: 123 * sim.Millisecond, Events: 99, PerProcFinish: []sim.Time{1, 2}}
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.journal")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	j.Record(keys[0], canon)
+	j.Close()
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("not a journal at all\n"))
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)/2] ^= 1
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j := &Journal{done: make(map[RunKey]par.Result)}
+		j.recover(data) // must not panic on any input
+		if got, ok := j.Lookup(keys[0]); ok && !reflect.DeepEqual(got, canon) {
+			t.Fatalf("reader served a non-canonical record: %+v", got)
+		}
+	})
+}

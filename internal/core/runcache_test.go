@@ -151,7 +151,7 @@ func TestForEachWeightedRunsAll(t *testing.T) {
 	const n = 17
 	visited := make([]int, n)
 	var mu sync.Mutex
-	err := forEachWeighted(n, func(i int) float64 { return float64(i % 5) }, func(i int) error {
+	err := forEachWeighted(n, func(i int) float64 { return float64(i % 5) }, nil, func(i int) error {
 		mu.Lock()
 		visited[i]++
 		mu.Unlock()

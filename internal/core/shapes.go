@@ -19,6 +19,9 @@ type ShapeResult struct {
 	Clusters int
 	Elapsed  sim.Time
 	RelPct   float64 // relative to the single-cluster run
+	// Failed is the failure kind when the run policy gave up on this
+	// cell, "" for a healthy run.
+	Failed string `json:",omitempty"`
 }
 
 // DefaultShapes are the 32-processor arrangements the study compares.
@@ -33,8 +36,9 @@ func DefaultShapes() []*topology.Topology {
 // ClusterShapeStudy runs the optimized variants over the shapes at the
 // given wide-area setting. On the fully connected mesh, more and smaller
 // clusters add bisection bandwidth, so bandwidth-bound applications speed
-// up even though fast links were replaced by slow ones.
-func ClusterShapeStudy(scale apps.Scale, appNames []string, wanLatency sim.Time, wanBandwidth float64) ([]ShapeResult, error) {
+// up even though fast links were replaced by slow ones. pol supervises the
+// sweep; nil runs unsupervised.
+func ClusterShapeStudy(scale apps.Scale, appNames []string, wanLatency sim.Time, wanBandwidth float64, pol *RunPolicy) ([]ShapeResult, error) {
 	base := NewBaselines(scale)
 	shapes := DefaultShapes()
 	type cellKey struct{ app, shape int }
@@ -56,15 +60,26 @@ func ClusterShapeStudy(scale apps.Scale, appNames []string, wanLatency sim.Time,
 		}
 	}
 	results := make([]ShapeResult, len(cells))
-	err := forEach(len(cells), func(k int) error {
+	label := func(k int) string {
+		c := cells[k]
+		return fmt.Sprintf("%s shape=%s", suite[c.app].Name, shapes[c.shape])
+	}
+	err := forEachWeighted(len(cells), nil, label, func(k int) error {
 		c := cells[k]
 		app, topo := suite[c.app], shapes[c.shape]
-		res, err := Experiment{
+		res, fail, err := pol.run(label(k), Experiment{
 			App: app, Scale: scale, Optimized: app.HasOptimized, Topo: topo,
 			Params: network.DefaultParams().WithWAN(wanLatency, wanBandwidth),
-		}.RunCached(DefaultCache)
+		}, DefaultCache)
 		if err != nil {
 			return err
+		}
+		if fail != nil {
+			results[k] = ShapeResult{
+				App: app.Name, Shape: topo.String(),
+				Clusters: topo.Clusters(), Failed: fail.Kind,
+			}
+			return nil
 		}
 		tl, err := base.SingleCluster(app, 32)
 		if err != nil {
@@ -86,6 +101,10 @@ func ClusterShapeStudy(scale apps.Scale, appNames []string, wanLatency sim.Time,
 func RenderShapes(results []ShapeResult) string {
 	t := stats.NewTable("Program", "Shape", "Runtime", "Relative speedup")
 	for _, r := range results {
+		if r.Failed != "" {
+			t.AddRow(r.App, r.Shape, FailedCell(r.Failed), FailedCell(r.Failed))
+			continue
+		}
 		t.AddRow(r.App, r.Shape, r.Elapsed.String(), fmt.Sprintf("%.1f%%", r.RelPct))
 	}
 	return t.String()

@@ -27,11 +27,13 @@ import (
 
 // Params configures the injected faults. The zero value disables injection.
 type Params struct {
-	// DropRate is the probability in [0,1) that a wide-area message is lost
+	// DropRate is the probability in [0,1] that a wide-area message is lost
 	// in flight (after occupying the link — congestion loss at the far
-	// gateway).
+	// gateway). Rate 1 models a totally hostile WAN: every wide-area message
+	// is lost, so no run can complete and only the supervision layer
+	// (retry caps, budgets, deadlines) terminates it.
 	DropRate float64
-	// DupRate is the probability in [0,1) that a wide-area message is
+	// DupRate is the probability in [0,1] that a wide-area message is
 	// delivered twice (a retransmission artifact of the underlying path).
 	DupRate float64
 	// ReorderJitter is the maximum extra delivery delay added per wide-area
@@ -57,16 +59,16 @@ func (p Params) Enabled() bool {
 		(p.OutageDuration > 0 && p.OutagePeriod > 0)
 }
 
-// Validate checks the parameters, rejecting rates outside [0,1), negative
+// Validate checks the parameters, rejecting rates outside [0,1], negative
 // durations and seeds, and outage durations that exceed their period (a
 // link that is never up cannot carry acks, so every run would fail its
 // retry cap).
 func (p Params) Validate() error {
 	switch {
-	case p.DropRate < 0 || p.DropRate >= 1:
-		return fmt.Errorf("faults: DropRate %v outside [0,1)", p.DropRate)
-	case p.DupRate < 0 || p.DupRate >= 1:
-		return fmt.Errorf("faults: DupRate %v outside [0,1)", p.DupRate)
+	case p.DropRate < 0 || p.DropRate > 1:
+		return fmt.Errorf("faults: DropRate %v outside [0,1]", p.DropRate)
+	case p.DupRate < 0 || p.DupRate > 1:
+		return fmt.Errorf("faults: DupRate %v outside [0,1]", p.DupRate)
 	case p.ReorderJitter < 0:
 		return fmt.Errorf("faults: negative ReorderJitter %v", p.ReorderJitter)
 	case p.OutagePeriod < 0:

@@ -16,13 +16,25 @@ func TestValidate(t *testing.T) {
 	if err := valid.Validate(); err != nil {
 		t.Fatalf("valid params rejected: %v", err)
 	}
+	// A drop rate of exactly 1 is legal (the totally hostile WAN used by the
+	// supervision tests) and must drop every message.
+	hostile := Params{DropRate: 1, Seed: 3}
+	if err := hostile.Validate(); err != nil {
+		t.Fatalf("DropRate 1 rejected: %v", err)
+	}
+	plan := NewPlan(hostile)
+	for idx := int64(0); idx < 100; idx++ {
+		if d := plan.Decide(0, 1, idx, 0); !d.Drop {
+			t.Fatalf("DropRate 1 let message %d through", idx)
+		}
+	}
 	cases := []struct {
 		name string
 		mut  func(*Params)
 		want string
 	}{
 		{"negative drop", func(p *Params) { p.DropRate = -0.1 }, "DropRate"},
-		{"drop of one", func(p *Params) { p.DropRate = 1 }, "DropRate"},
+		{"drop above one", func(p *Params) { p.DropRate = 1.01 }, "DropRate"},
 		{"negative dup", func(p *Params) { p.DupRate = -1 }, "DupRate"},
 		{"dup above one", func(p *Params) { p.DupRate = 1.5 }, "DupRate"},
 		{"negative jitter", func(p *Params) { p.ReorderJitter = -1 }, "ReorderJitter"},

@@ -1,8 +1,11 @@
 package par
 
 import (
+	"context"
+
 	"twolayer/internal/faults"
 	"twolayer/internal/network"
+	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
 )
@@ -32,12 +35,25 @@ type Options struct {
 	// Transport tunes the reliable channel; the zero value uses defaults.
 	// Transport.Enabled turns the channel on even without faults.
 	Transport Transport
+	// Budget bounds the run: virtual-time and event ceilings plus the
+	// livelock watchdog (see sim.Budget). The zero value imposes no limits,
+	// and a run that completes within its budgets is bit-identical to the
+	// same run with no budgets at all.
+	Budget sim.Budget
 }
 
 // RunWith executes job like Run, with extended options.
 func RunWith(topo *topology.Topology, opts Options, job Job) (Result, error) {
+	return RunWithContext(nil, topo, opts, job)
+}
+
+// RunWithContext is RunWith under wall-clock supervision: if ctx expires or
+// is canceled the simulation stops at the next event boundary and the error
+// wraps a *sim.RunError of kind sim.StopDeadline. A nil ctx disables the
+// deadline.
+func RunWithContext(ctx context.Context, topo *topology.Topology, opts Options, job Job) (Result, error) {
 	if opts.Params == (network.Params{}) {
 		opts.Params = network.DefaultParams()
 	}
-	return runSim(topo, opts, job)
+	return runSim(ctx, topo, opts, job)
 }

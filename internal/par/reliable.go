@@ -42,6 +42,26 @@ func (t Transport) withDefaults() Transport {
 	return t
 }
 
+// TransportError reports a failed reliable channel: the retry cap was
+// exceeded with frames still unacknowledged. Sweep supervision treats it as
+// a per-cell failure ("retry-cap"), not a harness error.
+type TransportError struct {
+	// Src and Dst are the channel's endpoints (global ranks).
+	Src, Dst int
+	// Retries is the configured cap that was exhausted.
+	Retries int
+	// Seq is the oldest unacknowledged sequence number.
+	Seq int64
+	// Unacked is the number of frames still in the window.
+	Unacked int
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf(
+		"par: reliable channel %d->%d failed: no ack after %d retransmission rounds (seq %d, %d frames unacked)",
+		e.Src, e.Dst, e.Retries, e.Seq, e.Unacked)
+}
+
 // relConfig is the run-wide reliable-transport state: resolved settings,
 // protocol counters, and any channel failures (surfaced as run errors).
 type relConfig struct {
@@ -207,9 +227,9 @@ func (s *relSender) onTimeout(gen uint64) {
 	s.retries++
 	if s.retries > cfg.MaxRetries {
 		s.failed = true
-		cfg.errs = append(cfg.errs, fmt.Errorf(
-			"par: reliable channel %d->%d failed: no ack after %d retransmission rounds (seq %d, %d frames unacked)",
-			s.e.rank, s.dst, cfg.MaxRetries, s.base, len(s.window)))
+		cfg.errs = append(cfg.errs, &TransportError{
+			Src: s.e.rank, Dst: s.dst, Retries: cfg.MaxRetries,
+			Seq: s.base, Unacked: len(s.window)})
 		return
 	}
 	for i := range s.window {
@@ -231,6 +251,7 @@ func (e *Env) relDeliver(src int, seq int64, m Msg) {
 	switch exp := e.relExp[src]; {
 	case seq == exp:
 		e.relExp[src] = exp + 1
+		e.rt.k.NoteProgress() // new in-order delivery: the application advanced
 		e.mb.deliver(m)
 	case seq < exp:
 		cfg.stats.Duplicates++ // retransmission of something already delivered
@@ -266,6 +287,10 @@ func (e *Env) relAck(from int, cum int64) {
 	s.window = append(s.window[:0], s.window[n:]...)
 	s.base += n
 	s.retries = 0
+	// A cumulative ack moving the window is the transport-level progress the
+	// livelock watchdog watches for: a retransmit storm fires timers forever
+	// without ever reaching this line.
+	e.rt.k.NoteProgress()
 	if len(s.window) > 0 {
 		s.arm()
 	} else {

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -67,6 +68,7 @@ func (rt *runtime) HandleEvent(token uint64) {
 	p.m = Msg{}
 	p.next = rt.pendFree
 	rt.pendFree = int32(token) + 1
+	rt.k.NoteProgress() // a message reaching a mailbox is application progress
 	mb.deliver(m)
 }
 
@@ -134,7 +136,7 @@ func (r Result) Speedup(sequential sim.Time) float64 {
 // processors have finished. A deadlock in the simulated program is returned
 // as an error. For traced or network-extended runs, see RunWith.
 func Run(topo *topology.Topology, params network.Params, seed int64, job Job) (Result, error) {
-	return runSim(topo, Options{Params: params, Seed: seed}, job)
+	return runSim(nil, topo, Options{Params: params, Seed: seed}, job)
 }
 
 // msgKind maps the network's message class to the trace vocabulary (trace
@@ -149,7 +151,7 @@ func msgKind(c network.MsgClass) trace.MsgKind {
 	return trace.KindData
 }
 
-func runSim(topo *topology.Topology, opts Options, job Job) (Result, error) {
+func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job) (Result, error) {
 	if err := opts.Faults.Validate(); err != nil {
 		return Result{}, fmt.Errorf("par: invalid fault parameters: %w", err)
 	}
@@ -188,8 +190,16 @@ func runSim(topo *topology.Topology, opts Options, job Job) (Result, error) {
 			job(e)
 		})
 	}
+	// Subsystem diagnostics are rendered into the RunError of any abnormal
+	// termination (deadlock, budget kill, watchdog trip, deadline); a
+	// healthy run never invokes them.
+	k.AddDiagnostic("mailboxes", rt.mailboxDump)
+	if rt.rel != nil {
+		k.AddDiagnostic("reliable-transport", rt.reliableDump)
+	}
+	k.SetBudget(opts.Budget)
 	var res Result
-	err := k.Run()
+	err := k.RunContext(ctx)
 	if rt.rel != nil {
 		res.Transport = rt.rel.stats
 		if opts.Trace != nil {
@@ -222,6 +232,63 @@ func runSim(topo *topology.Topology, opts Options, job Job) (Result, error) {
 	res.Intra = net.Intra()
 	res.Events = k.EventsFired()
 	return res, nil
+}
+
+// mailboxDump renders every backed-up mailbox for abnormal-termination
+// diagnostics: which ranks hold undelivered messages, and how many.
+func (rt *runtime) mailboxDump() []string {
+	const maxLines = 32
+	var out []string
+	backed := 0
+	for r, e := range rt.envs {
+		if n := e.mb.pending(); n > 0 {
+			backed++
+			if len(out) < maxLines {
+				out = append(out, fmt.Sprintf("rank %d: %d undelivered message(s)", r, n))
+			}
+		}
+	}
+	if backed > maxLines {
+		out = append(out, fmt.Sprintf("... %d more ranks with queued messages", backed-maxLines))
+	}
+	if backed == 0 {
+		out = append(out, "all mailboxes empty")
+	}
+	return out
+}
+
+// reliableDump renders the go-back-N state for abnormal-termination
+// diagnostics: protocol counters, then every channel with unacked frames or
+// retries in progress.
+func (rt *runtime) reliableDump() []string {
+	const maxLines = 32
+	cfg := rt.rel
+	out := []string{fmt.Sprintf(
+		"stats: timeouts=%d retransmits=%d acks=%d duplicates=%d out-of-order=%d",
+		cfg.stats.Timeouts, cfg.stats.Retransmits, cfg.stats.Acks,
+		cfg.stats.Duplicates, cfg.stats.OutOfOrder)}
+	busy := 0
+	for _, e := range rt.envs {
+		for _, s := range e.relS {
+			if s == nil || (len(s.window) == 0 && s.retries == 0 && !s.failed) {
+				continue
+			}
+			busy++
+			if len(out) < maxLines+1 {
+				state := ""
+				if s.failed {
+					state = " FAILED"
+				}
+				out = append(out, fmt.Sprintf(
+					"channel %d->%d: window %d/%d unacked from seq %d, next %d, retries %d%s",
+					s.e.rank, s.dst, len(s.window), cfg.Window, s.base, s.next, s.retries, state))
+			}
+		}
+	}
+	if busy > maxLines {
+		out = append(out, fmt.Sprintf("... %d more channels with unacked frames", busy-maxLines))
+	}
+	return out
 }
 
 // Barrier tags use a reserved negative odd range so they never collide with

@@ -1,0 +1,118 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"twolayer/internal/faults"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+)
+
+// TestWatchdogKillsRetransmitStorm is the supervision layer's reason to
+// exist: under 100% wide-area loss with the retry cap effectively disabled,
+// the go-back-N senders retransmit forever — events keep firing, virtual
+// time keeps advancing, but no cumulative ack ever moves a window. The
+// progress watchdog must kill the run and the diagnostic dump must carry
+// the reliable-channel state.
+func TestWatchdogKillsRetransmitStorm(t *testing.T) {
+	opts := faultyOpts(faults.Params{DropRate: 1, Seed: 5})
+	opts.Transport.MaxRetries = 1 << 30 // the retry cap must not save us
+	opts.Budget = sim.Budget{ProgressWindow: 20_000}
+	_, err := RunWith(relTopo(t), opts, pingPong(t, 50))
+	var re *sim.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *sim.RunError, got %v", err)
+	}
+	if re.Kind != sim.StopLivelock {
+		t.Fatalf("kind = %v, want %v (err: %v)", re.Kind, sim.StopLivelock, err)
+	}
+	rep := re.Report()
+	for _, want := range []string{"reliable-transport", "channel 0->4", "retries", "timeouts="} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestRetryCapStructuredError: under total loss with the default retry cap,
+// the channel fails with a typed *TransportError (alongside the secondary
+// deadlock), so sweep supervision can classify the cell as "retry-cap".
+func TestRetryCapStructuredError(t *testing.T) {
+	opts := faultyOpts(faults.Params{DropRate: 1, Seed: 5})
+	opts.Transport.MaxRetries = 4
+	_, err := RunWith(relTopo(t), opts, pingPong(t, 50))
+	if err == nil {
+		t.Fatal("run completed under 100% loss")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *TransportError in %v", err)
+	}
+	if te.Src != 0 || te.Dst != 4 || te.Retries != 4 {
+		t.Errorf("TransportError = %+v, want channel 0->4 with cap 4", te)
+	}
+}
+
+// TestDeadlineStopsRun: a wall-clock context kills an otherwise endless
+// storm, and the error unwraps to the context cause.
+func TestDeadlineStopsRun(t *testing.T) {
+	opts := faultyOpts(faults.Params{DropRate: 1, Seed: 5})
+	opts.Transport.MaxRetries = 1 << 30
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunWithContext(ctx, relTopo(t), opts, pingPong(t, 50))
+	var re *sim.RunError
+	if !errors.As(err, &re) || re.Kind != sim.StopDeadline {
+		t.Fatalf("want deadline RunError, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err should unwrap to DeadlineExceeded: %v", err)
+	}
+}
+
+// TestBudgetsInvisibleOnHealthyRun: a faulted run that completes within
+// generous budgets must be bit-identical to the same run without budgets.
+func TestBudgetsInvisibleOnHealthyRun(t *testing.T) {
+	base := faultyOpts(faults.Params{DropRate: 0.1, Seed: 9})
+	r1, err := RunWith(relTopo(t), base, pingPong(t, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := base
+	guarded.Budget = sim.Budget{
+		MaxEvents: 1 << 40, MaxVirtualTime: sim.Time(1) << 55, ProgressWindow: 1 << 24}
+	r2, err := RunWithContext(context.Background(), relTopo(t), guarded, pingPong(t, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Elapsed != r2.Elapsed || r1.Events != r2.Events || r1.Transport != r2.Transport {
+		t.Errorf("budgets changed a healthy run:\n%+v\nvs\n%+v", r1, r2)
+	}
+}
+
+// TestDeadlockDiagnosticsCarryMailboxes: an application-level deadlock
+// (rank waits for a message nobody sends) renders mailbox state in the
+// report.
+func TestDeadlockDiagnosticsCarryMailboxes(t *testing.T) {
+	job := func(e *Env) {
+		if e.Rank() == 0 {
+			e.Send(1, 1, nil, 64) // rank 1 never receives this
+			e.RecvFrom(1, 99)     // and never answers
+		}
+	}
+	_, err := RunWith(relTopo(t), Options{Params: network.DefaultParams()}, job)
+	var re *sim.RunError
+	if !errors.As(err, &re) || re.Kind != sim.StopDeadlock {
+		t.Fatalf("want deadlock RunError, got %v", err)
+	}
+	rep := re.Report()
+	for _, want := range []string{"mailboxes", "rank 1: 1 undelivered", "recv tag 99 from 1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

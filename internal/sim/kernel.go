@@ -1,9 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"iter"
-	"strings"
 )
 
 // Kernel is a discrete-event simulation engine. Create one with NewKernel,
@@ -37,11 +37,16 @@ type Kernel struct {
 	ready     []*Proc
 	readyHead int
 
-	err        error
-	limitErr   error
-	ran        bool
+	err  error
+	ran  bool
+	stop *RunError // first budget/watchdog/deadline kill; nil while healthy
+
 	events     uint64 // total events fired, for diagnostics
-	eventLimit uint64 // watchdog; 0 = unlimited
+	progressAt uint64 // events counter at the last NoteProgress call
+	budget     Budget
+	ctx        context.Context // non-nil only under RunContext
+	ctxDone    <-chan struct{}
+	diags      []diagProvider // subsystem dumps rendered into RunErrors
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
@@ -159,7 +164,7 @@ func (k *Kernel) makeReady(p *Proc) {
 // way exactly one goroutine executes at a time.
 func (k *Kernel) step() {
 	for k.readyHead == len(k.ready) {
-		if k.limitErr != nil || k.queue.Len() == 0 {
+		if k.stop != nil || k.queue.Len() == 0 {
 			return
 		}
 		ev := k.queue.Pop()
@@ -168,12 +173,17 @@ func (k *Kernel) step() {
 		}
 		k.now = ev.at
 		k.events++
-		if k.eventLimit > 0 && k.events > k.eventLimit {
-			k.limitErr = fmt.Errorf("sim: event limit %d exceeded at %v (livelock?)", k.eventLimit, k.now)
+		if k.checkBudgets() {
 			return
 		}
 		switch {
 		case ev.proc != nil:
+			// A process wake-up (spawn, compute, sleep) is application-level
+			// progress by definition: the simulated program itself is about to
+			// run. The livelock watchdog therefore only triggers on storms of
+			// pure handler/closure events — retransmission timers firing with
+			// every process blocked — never on a long compute-bound phase.
+			k.progressAt = k.events
 			k.makeReady(ev.proc)
 		case ev.h != nil:
 			ev.h.HandleEvent(ev.token)
@@ -197,18 +207,34 @@ func (k *Kernel) takeReady() *Proc {
 // SetEventLimit arms a watchdog: Run aborts with an error after firing
 // more than limit events, guarding sweeps against accidental livelock in a
 // simulated protocol (e.g. a retry loop that makes progress in virtual
-// time but never terminates). Zero, the default, means no limit.
-func (k *Kernel) SetEventLimit(limit uint64) { k.eventLimit = limit }
+// time but never terminates). Zero, the default, means no limit. It is
+// shorthand for setting Budget.MaxEvents.
+func (k *Kernel) SetEventLimit(limit uint64) { k.budget.MaxEvents = limit }
 
 // Run drives the simulation until the event queue drains. It returns an
 // error if any process is still blocked when no event remains (a deadlock
-// in the simulated system), identifying the stuck processes. Run may only
-// be called once per kernel.
-func (k *Kernel) Run() error {
+// in the simulated system), identifying the stuck processes. Abnormal
+// terminations — deadlock, budget or watchdog kills — are reported as a
+// *RunError carrying a diagnostic snapshot. Run may only be called once
+// per kernel.
+func (k *Kernel) Run() error { return k.RunContext(nil) }
+
+// RunContext is Run with wall-clock supervision: if ctx expires or is
+// canceled, the run is stopped at the next event boundary and the error
+// is a *RunError of kind StopDeadline whose cause is the context's error.
+// A nil ctx disables the deadline (identical to Run).
+func (k *Kernel) RunContext(ctx context.Context) error {
 	if k.ran {
 		return fmt.Errorf("sim: kernel ran already")
 	}
 	k.ran = true
+	if ctx != nil {
+		k.ctx = ctx
+		k.ctxDone = ctx.Done()
+		if ctx.Err() != nil {
+			k.fail(StopDeadline, "wall-clock deadline: "+ctx.Err().Error(), context.Cause(ctx))
+		}
+	}
 	for {
 		k.step()
 		p := k.takeReady()
@@ -217,18 +243,22 @@ func (k *Kernel) Run() error {
 		}
 		p.resume() // direct switch to the process until it blocks or finishes
 	}
-	if k.limitErr != nil {
-		return k.limitErr
+	if k.stop != nil {
+		k.snapshot(k.stop)
+		return k.stop
 	}
-	var stuck []string
+	deadlocked := false
 	for _, p := range k.procs {
 		if p.state != procDone {
-			stuck = append(stuck, fmt.Sprintf("%s(%s)", p.name, p.reason()))
+			deadlocked = true
+			break
 		}
 	}
-	if len(stuck) > 0 {
-		k.err = fmt.Errorf("sim: deadlock at %v: %d blocked process(es): %s",
-			k.now, len(stuck), strings.Join(stuck, ", "))
+	if deadlocked {
+		re := &RunError{Kind: StopDeadlock, At: k.now, Events: k.events,
+			SinceProgress: k.events - k.progressAt}
+		k.snapshot(re)
+		k.err = re
 	}
 	return k.err
 }

@@ -11,6 +11,21 @@ const (
 	procDone
 )
 
+// String names the state for diagnostic dumps (RunError process tables).
+func (s procState) String() string {
+	switch s {
+	case procReady:
+		return "ready"
+	case procRunning:
+		return "running"
+	case procBlocked:
+		return "blocked"
+	case procDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
 // BlockExplainer describes why a process is blocked. Passing an explainer
 // instead of a string keeps blocking cheap on the hot path: the description
 // is only rendered if the simulation deadlocks, so callers with dynamic

@@ -124,7 +124,7 @@ func TestPublicAPIHarnessSurface(t *testing.T) {
 	}
 
 	sr, err := twolayer.ClusterShapeStudy(twolayer.TinyScale, []string{"TSP"},
-		3300*twolayer.Microsecond, 1e6)
+		3300*twolayer.Microsecond, 1e6, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
