@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-runpath chaos chaos-resume
+.PHONY: build test vet race check bench bench-runpath bench-pdes chaos chaos-resume
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ bench:
 # lan_send_recv must report 0 allocs/op.
 bench-runpath:
 	$(GO) run ./cmd/bench -runpath -o results/BENCH_runpath.json -repeat 5
+
+# bench-pdes regenerates results/BENCH_pdes.json: the cluster-parallel
+# engine against the sequential one (2/4/8 in-run workers, cold
+# paper-scale suite). Wall numbers scale with the cores the machine
+# actually grants; the report pins GOMAXPROCS next to them.
+bench-pdes:
+	$(GO) run ./cmd/bench -pdes -o results/BENCH_pdes.json -repeat 5
 
 # chaos regenerates results/chaos.csv: the fault-injection sensitivity
 # sweep at paper scale (deterministic; reruns hit the run cache). An

@@ -1,5 +1,5 @@
 // Command bench measures the simulator's hot paths and writes the numbers
-// as JSON for tracking across revisions. It has four modes:
+// as JSON for tracking across revisions. It has five modes:
 //
 //	bench                  # simulator kernel: event loop, handoffs, full run
 //	bench -apps            # application compute kernels (ns per force pair,
@@ -7,6 +7,8 @@
 //	bench -runpath         # steady-state run path: ns/op, B/op, allocs/op,
 //	                       # GC cycles for send→deliver→receive and traced runs
 //	bench -figures         # end-to-end: cold vs disk-cached Figure 3 sweep
+//	bench -pdes            # cluster-parallel engine: sequential vs 2/4/8
+//	                       # in-run workers on the cold paper-scale suite
 //
 // Example:
 //
@@ -312,6 +314,7 @@ func main() {
 		appsMode    = flag.Bool("apps", false, "benchmark the application compute kernels instead")
 		runpathMode = flag.Bool("runpath", false, "benchmark the steady-state run path (ns/op, B/op, allocs/op, GC cycles) instead")
 		figMode     = flag.Bool("figures", false, "benchmark cold vs disk-cached Figure 3 regeneration instead")
+		pdesMode    = flag.Bool("pdes", false, "benchmark the cluster-parallel engine (sequential vs 2/4/8 workers, cold paper-scale suite) instead")
 		prev        = flag.Float64("prev", 53.9, "previous revision's cold Figure 3 seconds (-figures baseline)")
 	)
 	flag.Parse()
@@ -332,18 +335,40 @@ func main() {
 		os.Exit(2)
 	}
 	modes := 0
-	for _, on := range []bool{*appsMode, *runpathMode, *figMode} {
+	for _, on := range []bool{*appsMode, *runpathMode, *figMode, *pdesMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "bench: -apps, -runpath and -figures are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "bench: -apps, -runpath, -figures and -pdes are mutually exclusive")
 		os.Exit(2)
 	}
-	if *figMode && *only != "" {
-		fmt.Fprintln(os.Stderr, "bench: -only does not apply to -figures")
+	if (*figMode || *pdesMode) && *only != "" {
+		fmt.Fprintln(os.Stderr, "bench: -only does not apply to -figures or -pdes")
 		os.Exit(2)
+	}
+
+	if *pdesMode {
+		if *out == "" {
+			*out = "BENCH_pdes.json"
+		}
+		rep, err := benchPDES(*repeat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sequential %.2fs (%.1f ns/event, %d events)\n",
+			rep.Sequential.Seconds, rep.Sequential.NsPerEvent, rep.Events)
+		for _, p := range rep.Parallel {
+			fmt.Fprintf(os.Stderr, "workers=%d  %.2fs  %.1f ns/event  %.2fx vs sequential\n",
+				p.Workers, p.Seconds, p.NsPerEvent, p.Speedup)
+		}
+		if err := writeOut(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *figMode {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/core"
+	"twolayer/internal/network"
+	"twolayer/internal/topology"
+)
+
+// pdesPoint is one worker count's end-to-end measurement over the cold
+// paper-scale suite: the median wall time across -repeat passes, the
+// resulting event rate, and the speedup against the sequential engine.
+type pdesPoint struct {
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	NsPerEvent float64 `json:"ns_per_event"`
+	Speedup    float64 `json:"speedup_vs_sequential"`
+}
+
+// pdesReport records the cluster-parallel (PDES) engine benchmark. The
+// wall numbers are machine-dependent — GOMAXPROCS bounds how many logical
+// processes can actually run concurrently, so a 1-core runner measures
+// only the window-barrier overhead while a 4-core one measures real
+// scaling — which is why the report pins the processor count next to the
+// numbers.
+type pdesReport struct {
+	Benchmark  string      `json:"benchmark"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Scale      string      `json:"scale"`
+	Topology   string      `json:"topology"`
+	Apps       []string    `json:"apps"`
+	Runs       int         `json:"runs"`
+	Events     uint64      `json:"events_per_pass"`
+	Sequential pdesPoint   `json:"sequential"`
+	Parallel   []pdesPoint `json:"parallel"`
+}
+
+// pdesApps is the cold end-to-end workload: every paper application's
+// optimized variant at Paper scale on the 4x8 wide-area DAS shape — the
+// Figure 3 column the sweep tools regenerate, and the configuration whose
+// event count is dominated by real application compute, so in-run workers
+// have something to overlap.
+var pdesApps = []string{"Water", "FFT", "ASP", "Barnes-Hut", "TSP", "Awari"}
+
+// pdesPass runs the whole suite once at the given worker count (-1 forces
+// the sequential engine) and returns total events and wall time. Runs are
+// cold by construction: Experiment.Run never consults the run cache.
+func pdesPass(workers int) (uint64, time.Duration, error) {
+	var events uint64
+	start := time.Now()
+	for _, name := range pdesApps {
+		app, err := core.AppByName(name)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := core.Experiment{
+			App: app, Scale: apps.Paper, Optimized: true,
+			Topo: topology.DAS(), Params: network.DefaultParams(),
+			Workers: workers,
+		}.Run()
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s at workers=%d: %w", name, workers, err)
+		}
+		events += res.Events
+	}
+	return events, time.Since(start), nil
+}
+
+// pdesMeasure repeats pdesPass and keeps the median wall time.
+func pdesMeasure(workers, repeat int) (uint64, time.Duration, error) {
+	var events uint64
+	times := make([]time.Duration, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		ev, d, err := pdesPass(workers)
+		if err != nil {
+			return 0, 0, err
+		}
+		events = ev
+		times = append(times, d)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return events, times[len(times)/2], nil
+}
+
+// benchPDES measures the sequential engine against the cluster-parallel
+// one at 2, 4 and 8 workers on the cold paper-scale suite. The parallel
+// engine is bit-identical to the sequential one at every worker count (the
+// golden differential suite enforces it), so the only thing this varies is
+// wall time.
+func benchPDES(repeat int) (pdesReport, error) {
+	rep := pdesReport{
+		Benchmark:  "pdes_cold_paper_suite",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      "paper",
+		Topology:   topology.DAS().String(),
+		Apps:       pdesApps,
+		Runs:       repeat,
+	}
+	fmt.Fprintln(os.Stderr, "bench: cold paper-scale suite, sequential engine...")
+	events, seqTime, err := pdesMeasure(-1, repeat)
+	if err != nil {
+		return rep, err
+	}
+	rep.Events = events
+	rep.Sequential = pdesPoint{
+		Workers:    0,
+		Seconds:    seqTime.Seconds(),
+		NsPerEvent: float64(seqTime.Nanoseconds()) / float64(events),
+		Speedup:    1,
+	}
+	for _, w := range []int{2, 4, 8} {
+		fmt.Fprintf(os.Stderr, "bench: cold paper-scale suite, %d workers...\n", w)
+		ev, d, err := pdesMeasure(w, repeat)
+		if err != nil {
+			return rep, err
+		}
+		if ev != events {
+			return rep, fmt.Errorf("workers=%d fired %d events; sequential fired %d (determinism broken)", w, ev, events)
+		}
+		rep.Parallel = append(rep.Parallel, pdesPoint{
+			Workers:    w,
+			Seconds:    d.Seconds(),
+			NsPerEvent: float64(d.Nanoseconds()) / float64(ev),
+			Speedup:    seqTime.Seconds() / d.Seconds(),
+		})
+	}
+	return rep, nil
+}

@@ -59,7 +59,11 @@ func run() int {
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
 	sup := cliutil.RegisterSupervision("")
+	workers := cliutil.RegisterWorkers()
 	flag.Parse()
+	if err := cliutil.ApplyWorkers(*workers); err != nil {
+		return usage(err)
+	}
 
 	scale, ok := map[string]apps.Scale{"tiny": apps.Tiny, "small": apps.Small, "paper": apps.Paper}[*scaleF]
 	if !ok {

@@ -62,7 +62,11 @@ func run() int {
 		noCache  = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
 	sup := cliutil.RegisterSupervision("")
+	workers := cliutil.RegisterWorkers()
 	flag.Parse()
+	if err := cliutil.ApplyWorkers(*workers); err != nil {
+		return usage(err)
+	}
 	scale, err := parseScale(*scaleF)
 	if err != nil {
 		return usage(err)

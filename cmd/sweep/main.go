@@ -56,7 +56,11 @@ func run() int {
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
 	sup := cliutil.RegisterSupervision("")
+	workers := cliutil.RegisterWorkers()
 	flag.Parse()
+	if err := cliutil.ApplyWorkers(*workers); err != nil {
+		return usage(err)
+	}
 
 	if *bandwidth <= 0 {
 		return usage(fmt.Errorf("-bandwidth must be positive (got %g MByte/s)", *bandwidth))

@@ -18,6 +18,7 @@ package awari
 
 import (
 	"fmt"
+	"sync"
 
 	"twolayer/internal/apps"
 	"twolayer/internal/par"
@@ -67,9 +68,10 @@ func ConfigFor(s apps.Scale) Config {
 
 // Awari is one configured instance.
 type Awari struct {
-	cfg    Config
-	procs  int
-	result map[State]Value
+	cfg      Config
+	procs    int
+	resultMu sync.Mutex
+	result   map[State]Value
 }
 
 // New builds an instance for the given processor count.
@@ -396,10 +398,15 @@ func (a *Awari) run(e *par.Env, optimized bool) {
 		}
 	}
 
-	// Publish owned values for verification (safe: one process at a time).
+	// Publish owned values for verification. Each rank publishes a disjoint
+	// set of states (its owned partition), so the merged map is the same
+	// whatever the publish order — but the map itself needs the lock once
+	// ranks in different clusters run concurrently.
+	a.resultMu.Lock()
 	for s, v := range values {
 		a.result[s] = v
 	}
+	a.resultMu.Unlock()
 }
 
 // bundleMsg carries combined updates for a whole cluster plus their final

@@ -72,14 +72,20 @@ type TSP struct {
 	best   int32 // global minimum, written by rank 0 after the final reduce
 	done   bool
 	cutoff int32
-	// rankBests records each rank's best tour length; safe to share because
-	// the simulation runs one process at a time.
+	// rankBests records each rank's best tour length; safe to share without
+	// a lock because every rank writes only its own element, and the final
+	// reduce reads them after all ranks finished.
 	rankBests []int32
 }
 
-// New builds an instance for the given processor count.
+// New builds an instance for the given processor count. The cutoff bound
+// is precomputed here — it is a pure function of the configuration, and
+// every rank storing it from inside the job would be a write race once
+// ranks in different clusters run concurrently.
 func New(cfg Config, procs int) *TSP {
-	t := &TSP{cfg: cfg, procs: procs, rankBests: make([]int32, procs)}
+	d := cities(cfg.N, cfg.Seed)
+	t := &TSP{cfg: cfg, procs: procs, rankBests: make([]int32, procs),
+		cutoff: nearestNeighborBound(d)}
 	for i := range t.rankBests {
 		t.rankBests[i] = -1
 	}
@@ -123,8 +129,7 @@ func (t *TSP) run(e *par.Env, optimized bool) {
 	cfg := t.cfg
 	d := cities(cfg.N, cfg.Seed)
 	minOut := minOutEdges(d)
-	cutoff := nearestNeighborBound(d)
-	t.cutoff = cutoff
+	cutoff := t.cutoff // precomputed in New; see there for why
 
 	servers := serverRanks(e, optimized)
 	isServer := false

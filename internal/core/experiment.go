@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"twolayer/internal/apps"
 	"twolayer/internal/apps/asp"
@@ -94,6 +95,44 @@ type Experiment struct {
 	// run stops with a sim.StopDeadline error. Like Budget it never affects
 	// a run that completes, and is not part of the cache key.
 	Ctx context.Context
+	// Workers controls in-run parallelism: each cluster becomes a logical
+	// process, synchronized in conservative time windows under the
+	// wide-area lookahead (see par.Options.Workers). Zero defers to the
+	// process-wide default (SetDefaultWorkers); negative forces sequential
+	// execution. Results are bit-identical at every worker count, which is
+	// why Workers — like Budget and Ctx — is deliberately NOT part of the
+	// cache key: cached entries are valid whatever engine produced them.
+	Workers int
+}
+
+// defaultWorkers is the process-wide in-run worker default consulted when
+// Experiment.Workers is zero. It starts at 0 (sequential): library users
+// opt in explicitly, and the CLIs set it from their -workers flag.
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the process-wide default for Experiment.Workers ==
+// 0. Values below 1 select sequential execution. The sweep pool divides the
+// machine by this number (see parallelism), so set it before starting
+// sweeps.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// DefaultWorkers reports the current process-wide default.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// workers resolves the experiment's effective in-run worker count.
+func (x Experiment) workers() int {
+	switch {
+	case x.Workers < 0:
+		return 0
+	case x.Workers > 0:
+		return x.Workers
+	}
+	return DefaultWorkers()
 }
 
 // Run executes the experiment.
@@ -106,6 +145,7 @@ func (x Experiment) Run() (par.Result, error) {
 		Trace:     x.Trace,
 		Faults:    x.Faults,
 		Budget:    x.Budget,
+		Workers:   x.workers(),
 	}, inst.Job(x.Optimized))
 	if err != nil {
 		return res, fmt.Errorf("core: %s (opt=%v) on %v: %w", x.App.Name, x.Optimized, x.Topo, err)
@@ -193,10 +233,15 @@ func CommTimePercent(singleCluster, multiCluster sim.Time) float64 {
 // the coordinating goroutine only blocks on the worker pool, so reserving
 // a core for it — which on the common 2-core CI box meant a single worker
 // and a core sitting idle through every sweep — just wastes half the
-// machine. Results are collected into per-index slots, so the worker count
-// never affects output.
+// machine. With in-run workers enabled (SetDefaultWorkers), the pool
+// shrinks so that workers x concurrent cells stays near the core count
+// instead of oversubscribing. Results are collected into per-index slots,
+// so neither count ever affects output.
 func parallelism() int {
 	n := runtime.NumCPU()
+	if w := DefaultWorkers(); w > 1 {
+		n /= w
+	}
 	if n < 1 {
 		n = 1
 	}

@@ -17,11 +17,26 @@ package network
 
 import (
 	"fmt"
+	"os"
 
 	"twolayer/internal/faults"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 )
+
+// debugWANFile, when TWOLAYER_DEBUG_WAN names a file, receives one line per
+// wide-area gateway booking. Diffing the logs of a sequential and a
+// cluster-parallel run is the fastest way to localize a divergence: the
+// first mismatched booking names the send whose replay order is wrong.
+// A file rather than stderr because `go test` swallows passing packages'
+// output, and append mode so both engines of a differential can share it.
+var debugWANFile *os.File
+
+func init() {
+	if p := os.Getenv("TWOLAYER_DEBUG_WAN"); p != "" {
+		debugWANFile, _ = os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	}
+}
 
 // Params are the tunable speeds of the interconnect. The defaults mirror
 // the paper's testbed numbers.
@@ -81,6 +96,19 @@ func (p Params) WithWAN(latency sim.Time, bandwidth float64) Params {
 	p.WANLatency = latency
 	p.WANBandwidth = bandwidth
 	return p
+}
+
+// WANLookahead returns the minimum virtual delay between a cross-cluster
+// send call and the delivery of the message at its destination: the fixed
+// per-message costs of every leg, assuming zero transmission time (size 0,
+// idle links) and no surcharges. It is the conservative horizon that makes
+// cluster-partitioned parallel simulation safe: no message sent at time t
+// can affect another cluster before t + WANLookahead (queueing, transmission
+// time, RTT surcharges and injected jitter only push deliveries later). A
+// non-positive lookahead (a zero-latency, zero-overhead WAN) offers no
+// exploitable window and callers must fall back to sequential execution.
+func (p Params) WANLookahead() sim.Time {
+	return p.SendOverhead + 2*p.IntraLatency + p.WANPerMessage + p.WANLatency + p.RecvOverhead
 }
 
 // Gap returns the NUMA gap of the configuration: the ratio between slow and
@@ -144,6 +172,10 @@ type Network struct {
 	wanStates   []*wanState
 	variability Variability
 	observer    func(MessageEvent)
+
+	// router, when set, intercepts wide-area messages after the source-side
+	// legs (see SetRouter); nil routes them to the local gateway directly.
+	router Router
 
 	// Fault injection (see SetFaults); nil when the WAN is reliable.
 	faults     *faults.Plan
@@ -377,19 +409,89 @@ func (n *Network) wanLeg(sc, dc int, localArrive sim.Time, size int64) (wanDone,
 // gateway onto the fast network. extraDelay is injected reordering jitter,
 // applied after the last hop — the shared links book occupancy eagerly in
 // offer order, so only a post-gateway delay can actually deliver a later
-// message before an earlier one.
+// message before an earlier one. With a router installed, the destination
+// legs are handed off after the wide-area pipe instead of running here.
 func (n *Network) wanDeliver(src, dst, sc, dc int, sent, localArrive sim.Time,
 	size int64, extraDelay sim.Time, class MsgClass, duplicate bool, del delivery) {
 	wanDone, wanLat := n.wanLeg(sc, dc, localArrive, size)
-	remoteGateway := wanDone + wanLat
+	a := WANArrival{
+		Src: src, Dst: dst, SrcCluster: sc, DstCluster: dc,
+		Bytes: size, Sent: sent, Ready: wanDone + wanLat, Extra: extraDelay,
+		Class: class, Duplicate: duplicate, del: del,
+		Chain: n.k.EventBirth(),
+	}
+	if n.router != nil {
+		n.router.RouteWAN(a)
+		return
+	}
+	n.DeliverWAN(a)
+}
 
-	gwDone := n.gateways[dc].reserve(remoteGateway, size, n.params.IntraBandwidth)
+// WANArrival is a wide-area message that has cleared the source-side legs —
+// the sender's NIC, the queue onto the directed wide-area link, and the
+// wide-area pipe itself — and is about to enter the destination cluster's
+// gateway. It is what a Router buffers between the source and destination
+// partitions of a cluster-parallel simulation.
+type WANArrival struct {
+	// Src and Dst are the endpoint ranks; SrcCluster and DstCluster their
+	// clusters.
+	Src, Dst               int
+	SrcCluster, DstCluster int
+	// Bytes is the simulated wire size.
+	Bytes int64
+	// Sent is the virtual time of the originating send call: the key that
+	// orders arrivals deterministically when a router replays them.
+	Sent sim.Time
+	// Ready is when the last byte clears the wide-area pipe and reaches the
+	// destination gateway.
+	Ready sim.Time
+	// Extra is injected post-gateway reordering jitter.
+	Extra sim.Time
+	// Class and Duplicate label the message for observers and accounting.
+	Class     MsgClass
+	Duplicate bool
+	// Chain is the head of the originating send event's causal chain
+	// (sim.Kernel.EventBirth): the sequential kernel fires exact-time ties
+	// in global schedule order, and schedule order is ascending
+	// (Sent, Chain) as far as the recorded depth resolves. The window
+	// router sorts on it so a barrier replay books links in the order the
+	// sequential run would have.
+	Chain sim.BirthChain
+
+	del delivery // receiver half; opaque to routers
+}
+
+// Router intercepts wide-area traffic after the source-side legs. Package
+// par's window router implements it to buffer cross-cluster messages at
+// window barriers; hand each arrival to DeliverWAN on the network instance
+// owning the destination cluster to complete delivery.
+type Router interface {
+	RouteWAN(a WANArrival)
+}
+
+// SetRouter installs a wide-area router (nil restores direct delivery).
+// Call before any traffic.
+func (n *Network) SetRouter(r Router) { n.router = r }
+
+// DeliverWAN runs the destination-side legs of a wide-area arrival:
+// redistribution through the destination cluster's gateway onto the fast
+// network, then delivery. It must be called on the network instance that
+// owns the destination cluster's gateway link, at a kernel time no later
+// than the delivery time. Without a router, wanDeliver calls it inline, so
+// routed and direct execution book identical link occupancy and schedule
+// identical events.
+func (n *Network) DeliverWAN(a WANArrival) {
+	if debugWANFile != nil {
+		fmt.Fprintf(debugWANFile, "WANARR src=%d dst=%d sc=%d dc=%d bytes=%d sent=%d ready=%d class=%d dup=%v chain=%v\n",
+			a.Src, a.Dst, a.SrcCluster, a.DstCluster, a.Bytes, a.Sent, a.Ready, a.Class, a.Duplicate, a.Chain)
+	}
+	gwDone := n.gateways[a.DstCluster].reserve(a.Ready, a.Bytes, n.params.IntraBandwidth)
 	arrive := gwDone + n.params.IntraLatency
-	deliverAt := arrive + n.params.RecvOverhead + extraDelay
-	del.schedule(n.k, deliverAt)
+	deliverAt := arrive + n.params.RecvOverhead + a.Extra
+	a.del.schedule(n.k, deliverAt)
 	if n.observer != nil {
-		n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: sent,
-			Delivered: deliverAt, WAN: true, Class: class, Duplicate: duplicate})
+		n.observer(MessageEvent{Src: a.Src, Dst: a.Dst, Bytes: a.Bytes, Sent: a.Sent,
+			Delivered: deliverAt, WAN: true, Class: a.Class, Duplicate: a.Duplicate})
 	}
 }
 

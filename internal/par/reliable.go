@@ -5,7 +5,6 @@ import (
 
 	"twolayer/internal/network"
 	"twolayer/internal/sim"
-	"twolayer/internal/trace"
 )
 
 // Transport tunes the go-back-N reliable channel that guards wide-area
@@ -62,13 +61,14 @@ func (e *TransportError) Error() string {
 		e.Src, e.Dst, e.Retries, e.Seq, e.Unacked)
 }
 
-// relConfig is the run-wide reliable-transport state: resolved settings,
-// protocol counters, and any channel failures (surfaced as run errors).
+// relConfig is the run-wide reliable-transport configuration: the resolved
+// settings shared by every channel. The mutable protocol counters and
+// channel failures live on each shard (LP-local under parallel execution;
+// see shard.relStats and shard.relErrs), summed into the Result in shard
+// order.
 type relConfig struct {
 	Transport
 	rtoBase sim.Time
-	stats   trace.TransportStats
-	errs    []error
 }
 
 // rtoBase is a generous estimate of a wide-area round trip used to seed the
@@ -143,16 +143,17 @@ func (e *Env) relSend(dst int, m Msg, bytes int64) {
 }
 
 // transmit puts one frame on the wire; delivery lands in the receiver's
-// reliable layer, not directly in the mailbox.
+// reliable layer, not directly in the mailbox. The closure fires on the
+// receiver's kernel (under parallel execution the window router carries it
+// across the barrier), and relDeliver touches only receiver-local state.
 func (s *relSender) transmit(seq int64, f relFrame, class network.MsgClass) {
 	if s.failed {
 		return
 	}
-	rt := s.e.rt
 	src, dst := s.e.rank, s.dst
-	de := rt.envs[dst]
+	de := s.e.rt.envs[dst]
 	m := f.m
-	rt.net.SendClass(src, dst, f.bytes, class, func() {
+	s.e.sh.net.SendClass(src, dst, f.bytes, class, func() {
 		de.relDeliver(src, seq, m)
 	})
 }
@@ -164,7 +165,7 @@ func (s *relSender) rto() sim.Time {
 	cfg := s.e.rt.rel
 	d := cfg.rtoBase
 	if len(s.window) > 0 {
-		p := s.e.rt.net.Params()
+		p := s.e.sh.net.Params()
 		d += 2 * sim.TransmissionTime(s.window[0].bytes+cfg.AckBytes, p.WANBandwidth)
 	}
 	shift := s.retries
@@ -206,7 +207,7 @@ func mix64(x uint64) uint64 {
 func (s *relSender) arm() {
 	s.timerGen++
 	s.timerOn = true
-	k := s.e.rt.k
+	k := s.e.sh.k
 	k.ScheduleCall(k.Now()+s.rto(), s, s.timerGen)
 }
 
@@ -223,17 +224,17 @@ func (s *relSender) onTimeout(gen uint64) {
 	}
 	s.timerOn = false
 	cfg := s.e.rt.rel
-	cfg.stats.Timeouts++
+	s.e.sh.relStats.Timeouts++
 	s.retries++
 	if s.retries > cfg.MaxRetries {
 		s.failed = true
-		cfg.errs = append(cfg.errs, &TransportError{
+		s.e.sh.relErrs = append(s.e.sh.relErrs, &TransportError{
 			Src: s.e.rank, Dst: s.dst, Retries: cfg.MaxRetries,
 			Seq: s.base, Unacked: len(s.window)})
 		return
 	}
 	for i := range s.window {
-		cfg.stats.Retransmits++
+		s.e.sh.relStats.Retransmits++
 		s.transmit(s.base+int64(i), s.window[i], network.ClassRetrans)
 	}
 	s.arm()
@@ -251,21 +252,21 @@ func (e *Env) relDeliver(src int, seq int64, m Msg) {
 	switch exp := e.relExp[src]; {
 	case seq == exp:
 		e.relExp[src] = exp + 1
-		e.rt.k.NoteProgress() // new in-order delivery: the application advanced
+		e.sh.k.NoteProgress() // new in-order delivery: the application advanced
 		e.mb.deliver(m)
 	case seq < exp:
-		cfg.stats.Duplicates++ // retransmission of something already delivered
+		e.sh.relStats.Duplicates++ // retransmission of something already delivered
 	default:
-		cfg.stats.OutOfOrder++ // gap: an earlier frame was lost or jittered past
+		e.sh.relStats.OutOfOrder++ // gap: an earlier frame was lost or jittered past
 	}
 	cum := e.relExp[src] - 1
 	if cum < 0 {
 		return // nothing received in order yet; an ack would carry no information
 	}
-	cfg.stats.Acks++
+	e.sh.relStats.Acks++
 	se := e.rt.envs[src]
 	rank := e.rank
-	e.rt.net.SendClass(rank, src, cfg.AckBytes, network.ClassAck, func() {
+	e.sh.net.SendClass(rank, src, cfg.AckBytes, network.ClassAck, func() {
 		se.relAck(rank, cum)
 	})
 }
@@ -290,7 +291,7 @@ func (e *Env) relAck(from int, cum int64) {
 	// A cumulative ack moving the window is the transport-level progress the
 	// livelock watchdog watches for: a retransmit storm fires timers forever
 	// without ever reaching this line.
-	e.rt.k.NoteProgress()
+	e.sh.k.NoteProgress()
 	if len(s.window) > 0 {
 		s.arm()
 	} else {

@@ -14,62 +14,21 @@ import (
 	"twolayer/internal/trace"
 )
 
-// runtime ties a kernel, a network and the per-rank environments together.
+// runtime ties the per-LP shards (kernel, network, LP-local pools) and the
+// per-rank environments together. Sequential runs have exactly one shard
+// hosting every rank; PDES runs (Options.Workers >= 1) have one shard per
+// cluster, driven by sim.RunWindows.
 type runtime struct {
-	k      *sim.Kernel
 	topo   *topology.Topology
-	net    *network.Network
 	envs   []*Env
 	tracer trace.Sink
 	seed   int64
 	rel    *relConfig // nil unless the reliable transport is active
 
-	// pend pools the envelopes of messages in flight on the direct (non-
-	// reliable) path: a send stages {destination mailbox, message} here and
-	// hands the network only the runtime (a sim.EventHandler) plus the slot
-	// token, so the steady-state send→deliver cycle allocates nothing. Slots
-	// are recycled through a free list (index+1 encoding; 0 = none) and the
-	// slab's peak size is the run's peak number of undelivered messages.
-	pend     []pendingMsg
-	pendFree int32
-}
+	shards []*shard
+	pdes   bool // cluster-partitioned parallel mode
 
-// pendingMsg is one pooled in-flight message envelope.
-type pendingMsg struct {
-	mb   *mailbox
-	m    Msg
-	next int32
-}
-
-// stage places a message bound for mb into the delivery pool and returns
-// its token for SendHandle.
-func (rt *runtime) stage(mb *mailbox, m Msg) uint64 {
-	var idx int32
-	if rt.pendFree != 0 {
-		idx = rt.pendFree - 1
-		rt.pendFree = rt.pend[idx].next
-	} else {
-		rt.pend = append(rt.pend, pendingMsg{})
-		idx = int32(len(rt.pend)) - 1
-	}
-	p := &rt.pend[idx]
-	p.mb = mb
-	p.m = m
-	return uint64(idx)
-}
-
-// HandleEvent implements sim.EventHandler: the network's delivery event for
-// a staged message fired. The envelope is recycled before the mailbox
-// delivery runs (delivery may wake a process whose next send reuses it).
-func (rt *runtime) HandleEvent(token uint64) {
-	p := &rt.pend[token]
-	mb, m := p.mb, p.m
-	p.mb = nil
-	p.m = Msg{}
-	p.next = rt.pendFree
-	rt.pendFree = int32(token) + 1
-	rt.k.NoteProgress() // a message reaching a mailbox is application progress
-	mb.deliver(m)
+	merge []network.WANArrival // barrier scratch: sorted union of shard outboxes
 }
 
 // rankNames caches the diagnostic process names ("rank0", "rank1", ...)
@@ -155,37 +114,78 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 	if err := opts.Faults.Validate(); err != nil {
 		return Result{}, fmt.Errorf("par: invalid fault parameters: %w", err)
 	}
-	k := sim.NewKernel()
-	net := network.New(k, topo, opts.Params)
-	if opts.Configure != nil {
-		opts.Configure(net)
-	}
-	if opts.Trace != nil {
-		tr := opts.Trace
-		net.SetObserver(func(ev network.MessageEvent) {
-			tr.RecordMessage(trace.Message{
-				Src: ev.Src, Dst: ev.Dst, Bytes: ev.Bytes,
-				Sent: ev.Sent, Delivered: ev.Delivered, WAN: ev.WAN,
-				Kind: msgKind(ev.Class), Dup: ev.Duplicate, Dropped: ev.Dropped,
-			})
-		})
-	}
-	rt := &runtime{k: k, topo: topo, net: net, tracer: opts.Trace, seed: opts.Seed}
+	rt := &runtime{topo: topo, tracer: opts.Trace, seed: opts.Seed}
 	if opts.Faults.Enabled() || opts.Transport.Enabled {
+		rt.rel = &relConfig{
+			Transport: opts.Transport.withDefaults(),
+			rtoBase:   rtoBase(opts.Params),
+		}
+	}
+	// Cluster-partitioned parallel execution applies when the caller asked
+	// for it and the run is eligible: multiple clusters (one cluster has no
+	// partition), a positive wide-area lookahead (a zero-latency WAN gives
+	// the conservative protocol no window — see DESIGN.md §5g), and no
+	// Configure/Trace hook (Configure may install per-pair speeds or
+	// variability whose link state the partitioning cannot localize; Trace
+	// observes deliveries in global order). Ineligible runs silently fall
+	// back to the sequential engine, which is always correct.
+	lookahead := opts.Params.WANLookahead()
+	rt.pdes = opts.Workers >= 1 && topo.Clusters() > 1 && lookahead > 0 &&
+		opts.Configure == nil && opts.Trace == nil
+	if rt.pdes {
+		rt.shards = make([]*shard, topo.Clusters())
+		for c := range rt.shards {
+			k := sim.NewKernel()
+			// LP kernels track event birth chains: the window flush sorts
+			// cross-cluster arrivals by them to reproduce the sequential
+			// kernel's exact-time tie order. Sequential kernels skip the
+			// tracking (and its per-event copies) entirely.
+			k.RecordChains()
+			net := network.New(k, topo, opts.Params)
+			sh := &shard{rt: rt, id: c, k: k, net: net, ranks: topo.RanksIn(c)}
+			net.SetRouter(sh)
+			if opts.Faults.Enabled() {
+				// Per-shard plans make identical decisions: a plan is a pure
+				// function of (seed, link, message index, time).
+				net.SetFaults(faults.NewPlan(opts.Faults))
+			}
+			rt.shards[c] = sh
+		}
+	} else {
+		k := sim.NewKernel()
+		net := network.New(k, topo, opts.Params)
+		if opts.Configure != nil {
+			opts.Configure(net)
+		}
+		if opts.Trace != nil {
+			tr := opts.Trace
+			net.SetObserver(func(ev network.MessageEvent) {
+				tr.RecordMessage(trace.Message{
+					Src: ev.Src, Dst: ev.Dst, Bytes: ev.Bytes,
+					Sent: ev.Sent, Delivered: ev.Delivered, WAN: ev.WAN,
+					Kind: msgKind(ev.Class), Dup: ev.Duplicate, Dropped: ev.Dropped,
+				})
+			})
+		}
 		if opts.Faults.Enabled() {
 			net.SetFaults(faults.NewPlan(opts.Faults))
 		}
-		rt.rel = &relConfig{
-			Transport: opts.Transport.withDefaults(),
-			rtoBase:   rtoBase(net.Params()),
+		allRanks := make([]int, topo.Procs())
+		for r := range allRanks {
+			allRanks[r] = r
 		}
+		rt.shards = []*shard{{rt: rt, k: k, net: net, ranks: allRanks}}
 	}
 	rt.envs = make([]*Env, topo.Procs())
 	procs := make([]*sim.Proc, topo.Procs())
 	for r := 0; r < topo.Procs(); r++ {
-		e := &Env{rt: rt, rank: r}
+		sh := rt.shards[0]
+		if rt.pdes {
+			sh = rt.shards[topo.ClusterOf(r)]
+		}
+		e := &Env{rt: rt, sh: sh, rank: r}
 		rt.envs[r] = e
-		procs[r] = k.Spawn(rankName(r), func(p *sim.Proc) {
+		procs[r] = sh.k.Spawn(rankName(r), func(p *sim.Proc) {
 			e.p = p
 			job(e)
 		})
@@ -193,25 +193,50 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 	// Subsystem diagnostics are rendered into the RunError of any abnormal
 	// termination (deadlock, budget kill, watchdog trip, deadline); a
 	// healthy run never invokes them.
-	k.AddDiagnostic("mailboxes", rt.mailboxDump)
-	if rt.rel != nil {
-		k.AddDiagnostic("reliable-transport", rt.reliableDump)
-	}
-	k.SetBudget(opts.Budget)
-	var res Result
-	err := k.RunContext(ctx)
-	if rt.rel != nil {
-		res.Transport = rt.rel.stats
-		if opts.Trace != nil {
-			opts.Trace.RecordTransport(rt.rel.stats)
+	for _, sh := range rt.shards {
+		sh.k.AddDiagnostic("mailboxes", sh.mailboxDump)
+		if rt.rel != nil {
+			sh.k.AddDiagnostic("reliable-transport", sh.reliableDump)
 		}
-		if len(rt.rel.errs) > 0 {
+	}
+	var err error
+	if rt.pdes {
+		kernels := make([]*sim.Kernel, len(rt.shards))
+		for i, sh := range rt.shards {
+			kernels[i] = sh.k
+		}
+		err = sim.RunWindows(kernels, rt, sim.WindowConfig{
+			Lookahead: lookahead,
+			Workers:   opts.Workers,
+			Budget:    opts.Budget,
+			Ctx:       ctx,
+		})
+	} else {
+		rt.shards[0].k.SetBudget(opts.Budget)
+		err = rt.shards[0].k.RunContext(ctx)
+	}
+	var res Result
+	if rt.rel != nil {
+		var errs []error
+		for _, sh := range rt.shards {
+			addTransportStats(&res.Transport, sh.relStats)
+			errs = append(errs, sh.relErrs...)
+		}
+		if opts.Trace != nil {
+			opts.Trace.RecordTransport(res.Transport)
+		}
+		if len(errs) > 0 {
 			// A failed reliable channel usually also deadlocks the program;
 			// surface the root cause ahead of the secondary deadlock.
-			err = errors.Join(append(append([]error{}, rt.rel.errs...), err)...)
+			err = errors.Join(append(errs, err)...)
 		}
 	}
-	res.Faults = net.FaultStats()
+	for _, sh := range rt.shards {
+		fs := sh.net.FaultStats()
+		res.Faults.Dropped += fs.Dropped
+		res.Faults.OutageDropped += fs.OutageDropped
+		res.Faults.Duplicated += fs.Duplicated
+	}
 	if err != nil {
 		return res, err
 	}
@@ -224,71 +249,24 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 			res.Elapsed = p.FinishedAt()
 		}
 	}
-	res.WAN = net.TotalWAN()
 	res.ClusterWANOut = make([]network.LinkStats, topo.Clusters())
-	for c := 0; c < topo.Clusters(); c++ {
-		res.ClusterWANOut[c] = net.ClusterWANOut(c)
+	for _, sh := range rt.shards {
+		w := sh.net.TotalWAN()
+		res.WAN.Messages += w.Messages
+		res.WAN.Bytes += w.Bytes
+		res.WAN.BusyTime += w.BusyTime
+		is := sh.net.Intra()
+		res.Intra.Messages += is.Messages
+		res.Intra.Bytes += is.Bytes
+		res.Events += sh.k.EventsFired()
+		for c := 0; c < topo.Clusters(); c++ {
+			s := sh.net.ClusterWANOut(c)
+			res.ClusterWANOut[c].Messages += s.Messages
+			res.ClusterWANOut[c].Bytes += s.Bytes
+			res.ClusterWANOut[c].BusyTime += s.BusyTime
+		}
 	}
-	res.Intra = net.Intra()
-	res.Events = k.EventsFired()
 	return res, nil
-}
-
-// mailboxDump renders every backed-up mailbox for abnormal-termination
-// diagnostics: which ranks hold undelivered messages, and how many.
-func (rt *runtime) mailboxDump() []string {
-	const maxLines = 32
-	var out []string
-	backed := 0
-	for r, e := range rt.envs {
-		if n := e.mb.pending(); n > 0 {
-			backed++
-			if len(out) < maxLines {
-				out = append(out, fmt.Sprintf("rank %d: %d undelivered message(s)", r, n))
-			}
-		}
-	}
-	if backed > maxLines {
-		out = append(out, fmt.Sprintf("... %d more ranks with queued messages", backed-maxLines))
-	}
-	if backed == 0 {
-		out = append(out, "all mailboxes empty")
-	}
-	return out
-}
-
-// reliableDump renders the go-back-N state for abnormal-termination
-// diagnostics: protocol counters, then every channel with unacked frames or
-// retries in progress.
-func (rt *runtime) reliableDump() []string {
-	const maxLines = 32
-	cfg := rt.rel
-	out := []string{fmt.Sprintf(
-		"stats: timeouts=%d retransmits=%d acks=%d duplicates=%d out-of-order=%d",
-		cfg.stats.Timeouts, cfg.stats.Retransmits, cfg.stats.Acks,
-		cfg.stats.Duplicates, cfg.stats.OutOfOrder)}
-	busy := 0
-	for _, e := range rt.envs {
-		for _, s := range e.relS {
-			if s == nil || (len(s.window) == 0 && s.retries == 0 && !s.failed) {
-				continue
-			}
-			busy++
-			if len(out) < maxLines+1 {
-				state := ""
-				if s.failed {
-					state = " FAILED"
-				}
-				out = append(out, fmt.Sprintf(
-					"channel %d->%d: window %d/%d unacked from seq %d, next %d, retries %d%s",
-					s.e.rank, s.dst, len(s.window), cfg.Window, s.base, s.next, s.retries, state))
-			}
-		}
-	}
-	if busy > maxLines {
-		out = append(out, fmt.Sprintf("... %d more channels with unacked frames", busy-maxLines))
-	}
-	return out
 }
 
 // Barrier tags use a reserved negative odd range so they never collide with

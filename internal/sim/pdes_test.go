@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tokenExchange is a toy CrossExchange: LP i sends a token to LP (i+1)%n
+// with exactly lookahead of delay, hops times. It mirrors how package par's
+// window router buffers sends during a window and replays them at the
+// barrier.
+type tokenExchange struct {
+	lps       []*Kernel
+	lookahead Time
+	pending   []pendingToken
+	delivered []Time // receive times observed per LP, in order
+}
+
+type pendingToken struct {
+	at  Time
+	dst int
+	hop int
+}
+
+func (x *tokenExchange) send(from *Kernel, dst, hop int) {
+	x.pending = append(x.pending, pendingToken{at: from.Now() + x.lookahead, dst: dst, hop: hop})
+}
+
+func (x *tokenExchange) Flush(Time) int {
+	n := len(x.pending)
+	for _, p := range x.pending {
+		p := p
+		k := x.lps[p.dst]
+		k.Schedule(p.at, func() {
+			x.delivered = append(x.delivered, k.Now())
+			if p.hop > 0 {
+				x.send(k, (p.dst+1)%len(x.lps), p.hop-1)
+			}
+		})
+	}
+	x.pending = x.pending[:0]
+	return n
+}
+
+// ringOnWindows runs an n-LP token ring for the given hops under RunWindows
+// and returns the observed delivery times.
+func ringOnWindows(n, hops, workers int, lookahead Time) ([]Time, error) {
+	x := &tokenExchange{lookahead: lookahead}
+	for i := 0; i < n; i++ {
+		x.lps = append(x.lps, NewKernel())
+	}
+	x.lps[0].Schedule(0, func() { x.send(x.lps[0], 1%n, hops) })
+	err := RunWindows(x.lps, x, WindowConfig{Lookahead: lookahead, Workers: workers})
+	return x.delivered, err
+}
+
+func TestRunWindowsRejectsNonPositiveLookahead(t *testing.T) {
+	for _, la := range []Time{0, -Microsecond} {
+		_, err := ringOnWindows(2, 1, 1, la)
+		if err == nil {
+			t.Errorf("lookahead %v: want error", la)
+		}
+	}
+}
+
+// TestRunWindowsTokenRing pins the window protocol end to end: every hop
+// arrives exactly lookahead after its send, every worker count observes the
+// identical delivery schedule, and the number of deliveries matches hops.
+func TestRunWindowsTokenRing(t *testing.T) {
+	const hops = 25
+	la := 3 * Millisecond
+	want, err := ringOnWindows(3, hops, 1, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != hops+1 {
+		t.Fatalf("got %d deliveries, want %d", len(want), hops+1)
+	}
+	for i, at := range want {
+		if at != Time(i+1)*la {
+			t.Fatalf("hop %d delivered at %v, want %v", i, at, Time(i+1)*la)
+		}
+	}
+	for _, w := range []int{2, 8} {
+		got, err := ringOnWindows(3, hops, w, la)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d deliveries, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: delivery %d at %v, want %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunWindowMatchesRunLocally pins that windowed driving never reorders
+// an LP's local execution: the same single-kernel workload produces the
+// same trace whether driven by Run or window by window.
+func TestRunWindowMatchesRunLocally(t *testing.T) {
+	build := func() (*Kernel, *[]Time) {
+		k := NewKernel()
+		var fired []Time
+		var step func(i int)
+		step = func(i int) {
+			fired = append(fired, k.Now())
+			if i < 40 {
+				k.After(Time(i%7+1)*100*Microsecond, func() { step(i + 1) })
+				if i%3 == 0 {
+					k.After(50*Microsecond, func() { fired = append(fired, k.Now()) })
+				}
+			}
+		}
+		k.Schedule(0, func() { step(0) })
+		return k, &fired
+	}
+
+	seqK, seqTrace := build()
+	if err := seqK.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	winK, winTrace := build()
+	limit := Time(0)
+	for winK.NextEventTime() != MaxTime {
+		limit = winK.NextEventTime() + 300*Microsecond
+		winK.runWindow(limit)
+	}
+	if len(*winTrace) != len(*seqTrace) {
+		t.Fatalf("windowed fired %d events, sequential %d", len(*winTrace), len(*seqTrace))
+	}
+	for i := range *seqTrace {
+		if (*winTrace)[i] != (*seqTrace)[i] {
+			t.Fatalf("event %d at %v windowed vs %v sequential", i, (*winTrace)[i], (*seqTrace)[i])
+		}
+	}
+}
+
+// TestRunWindowsAggregatedDeadlock pins the aggregated RunError shape for
+// parallel runs: a deadlocked LP surfaces per-LP queue depths and
+// window-barrier state in the report, so livelock diagnoses don't regress
+// under parallel execution.
+func TestRunWindowsAggregatedDeadlock(t *testing.T) {
+	x := &tokenExchange{lookahead: Millisecond}
+	k0, k1 := NewKernel(), NewKernel()
+	x.lps = []*Kernel{k0, k1}
+	var c Cond
+	k1.Spawn("stuck", func(p *Proc) { c.Wait(p, "token that never comes") })
+	err := RunWindows(x.lps, x, WindowConfig{Lookahead: Millisecond, Workers: 2})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %v", err)
+	}
+	if re.Kind != StopDeadlock {
+		t.Fatalf("kind = %v", re.Kind)
+	}
+	if len(re.LPs) != 2 {
+		t.Fatalf("LPs = %d, want 2", len(re.LPs))
+	}
+	if re.Window == nil {
+		t.Fatal("no window-barrier state in aggregated error")
+	}
+	rep := re.Report()
+	for _, want := range []string{"lp0", "lp1", "window", "token that never comes"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestChainSlabRecycles pins the chain slab's bound: recording kernels
+// recycle fired events' slots, so the slab's high-water mark tracks the
+// queue depth, not the run length.
+func TestChainSlabRecycles(t *testing.T) {
+	k := NewKernel()
+	k.RecordChains()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 10000 {
+			k.After(Microsecond, step)
+		}
+	}
+	k.Schedule(0, step)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.chains) > 4 {
+		t.Fatalf("chain slab grew to %d entries for a 1-deep queue", len(k.chains))
+	}
+}
