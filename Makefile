@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-runpath bench-pdes chaos chaos-resume
+.PHONY: build test vet race check bench bench-runpath bench-pdes bench-analytic chaos chaos-resume
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ bench-runpath:
 # actually grants; the report pins GOMAXPROCS next to them.
 bench-pdes:
 	$(GO) run ./cmd/bench -pdes -o results/BENCH_pdes.json -repeat 5
+
+# bench-analytic regenerates results/BENCH_analytic.json: one cold
+# simulated Small Figure 3 sweep against the record-once-solve-many
+# analytic engine, with per-variant recording cost, per-grid-point solve
+# cost and prediction error.
+bench-analytic:
+	$(GO) run ./cmd/bench -analytic -o results/BENCH_analytic.json -repeat 5
 
 # chaos regenerates results/chaos.csv: the fault-injection sensitivity
 # sweep at paper scale (deterministic; reruns hit the run cache). An

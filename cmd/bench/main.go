@@ -1,5 +1,5 @@
 // Command bench measures the simulator's hot paths and writes the numbers
-// as JSON for tracking across revisions. It has five modes:
+// as JSON for tracking across revisions. It has six modes:
 //
 //	bench                  # simulator kernel: event loop, handoffs, full run
 //	bench -apps            # application compute kernels (ns per force pair,
@@ -9,6 +9,8 @@
 //	bench -figures         # end-to-end: cold vs disk-cached Figure 3 sweep
 //	bench -pdes            # cluster-parallel engine: sequential vs 2/4/8
 //	                       # in-run workers on the cold paper-scale suite
+//	bench -analytic        # analytic engine: cold simulated Small Figure 3
+//	                       # vs record-once-solve-many, with error stats
 //
 // Example:
 //
@@ -315,6 +317,7 @@ func main() {
 		runpathMode = flag.Bool("runpath", false, "benchmark the steady-state run path (ns/op, B/op, allocs/op, GC cycles) instead")
 		figMode     = flag.Bool("figures", false, "benchmark cold vs disk-cached Figure 3 regeneration instead")
 		pdesMode    = flag.Bool("pdes", false, "benchmark the cluster-parallel engine (sequential vs 2/4/8 workers, cold paper-scale suite) instead")
+		anMode      = flag.Bool("analytic", false, "benchmark the analytic engine (Small Figure 3: simulated vs record-once-solve-many) instead")
 		prev        = flag.Float64("prev", 53.9, "previous revision's cold Figure 3 seconds (-figures baseline)")
 	)
 	flag.Parse()
@@ -335,18 +338,37 @@ func main() {
 		os.Exit(2)
 	}
 	modes := 0
-	for _, on := range []bool{*appsMode, *runpathMode, *figMode, *pdesMode} {
+	for _, on := range []bool{*appsMode, *runpathMode, *figMode, *pdesMode, *anMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "bench: -apps, -runpath, -figures and -pdes are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "bench: -apps, -runpath, -figures, -pdes and -analytic are mutually exclusive")
 		os.Exit(2)
 	}
-	if (*figMode || *pdesMode) && *only != "" {
-		fmt.Fprintln(os.Stderr, "bench: -only does not apply to -figures or -pdes")
+	if (*figMode || *pdesMode || *anMode) && *only != "" {
+		fmt.Fprintln(os.Stderr, "bench: -only does not apply to -figures, -pdes or -analytic")
 		os.Exit(2)
+	}
+
+	if *anMode {
+		if *out == "" {
+			*out = "BENCH_analytic.json"
+		}
+		rep, err := benchAnalytic(*repeat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simulated %.1fs  analytic %.2fs  speedup %.0fx  err max %.2f%% mean %.2f%%\n",
+			rep.SimulatedSeconds, rep.AnalyticSeconds, rep.Speedup,
+			rep.MaxRelErrPct, rep.MeanRelErrPct)
+		if err := writeOut(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *pdesMode {

@@ -16,6 +16,11 @@
 // Options: -scale tiny|small|paper (default paper), -apps Water,FFT,...,
 // -csv for machine-readable Figure 3 output.
 //
+// With -analytic, Figure 3, Figure 4, -gaps and -shapes are answered from
+// one recorded dependency graph per variant (simulated once at the
+// reference point, solved analytically everywhere else; see DESIGN.md
+// section 5h). -analytic-tolerance bounds the replay's self-check error.
+//
 // Long sweeps can be supervised: -deadline, -max-events, -max-vtime and
 // -progress-window bound each run, and cells that have to be killed render
 // as FAILED(reason) instead of aborting the sweep. A -journal file records
@@ -63,8 +68,12 @@ func run() int {
 	)
 	sup := cliutil.RegisterSupervision("")
 	workers := cliutil.RegisterWorkers()
+	analytic := cliutil.RegisterAnalytic()
 	flag.Parse()
 	if err := cliutil.ApplyWorkers(*workers); err != nil {
+		return usage(err)
+	}
+	if err := analytic.Validate(); err != nil {
 		return usage(err)
 	}
 	scale, err := parseScale(*scaleF)
@@ -118,15 +127,25 @@ func run() int {
 		fmt.Println(core.RenderFigure1(points))
 	}
 	var panels []core.Figure3Panel
+	var reports []core.AnalyticReport
 	if *fig3 || *gaps || *all {
-		panels, err = core.Figure3(scale, core.Figure3Options{Apps: filter, Policy: pol})
+		opts := core.Figure3Options{Apps: filter, Policy: pol}
+		if analytic.Enabled {
+			panels, reports, err = core.Figure3Analytic(scale, opts, analytic.Tolerance)
+		} else {
+			panels, err = core.Figure3(scale, opts)
+		}
 		if err != nil {
 			return fail(err)
 		}
 	}
 	if *fig3 || *all {
 		ran = true
-		fmt.Println("Figure 3: Speedup relative to an all-Myrinet cluster (percent)")
+		if analytic.Enabled {
+			fmt.Println("Figure 3 (analytic): Speedup relative to an all-Myrinet cluster (percent)")
+		} else {
+			fmt.Println("Figure 3: Speedup relative to an all-Myrinet cluster (percent)")
+		}
 		for _, p := range panels {
 			if *csv {
 				renderCSV(p)
@@ -134,16 +153,29 @@ func run() int {
 				fmt.Println(core.RenderFigure3Panel(p))
 			}
 		}
+		if analytic.Enabled && !*csv {
+			fmt.Println("Analytic recording health and sensitivity (per variant):")
+			fmt.Println(core.RenderAnalyticReports(reports))
+		}
 	}
 	if *fig4 || *all {
 		ran = true
-		bw, err := core.Figure4Bandwidth(scale, pol)
+		var bw, lat []core.Figure4Curve
+		if analytic.Enabled {
+			bw, err = core.Figure4AnalyticBandwidth(scale, pol, analytic.Tolerance)
+		} else {
+			bw, err = core.Figure4Bandwidth(scale, pol)
+		}
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Println("Figure 4 (left): inter-cluster communication time vs bandwidth at 3.3 ms")
 		fmt.Println(core.RenderFigure4(bw, "bandwidth B/s"))
-		lat, err := core.Figure4Latency(scale, pol)
+		if analytic.Enabled {
+			lat, err = core.Figure4AnalyticLatency(scale, pol, analytic.Tolerance)
+		} else {
+			lat, err = core.Figure4Latency(scale, pol)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -159,8 +191,14 @@ func run() int {
 	}
 	if *shapes || *all {
 		ran = true
-		results, err := core.ClusterShapeStudy(scale, []string{"Water", "ASP"},
-			3300*sim.Microsecond, 0.95e6, pol)
+		var results []core.ShapeResult
+		if analytic.Enabled {
+			results, err = core.ClusterShapeStudyAnalytic(scale, []string{"Water", "ASP"},
+				3300*sim.Microsecond, 0.95e6, pol, analytic.Tolerance)
+		} else {
+			results, err = core.ClusterShapeStudy(scale, []string{"Water", "ASP"},
+				3300*sim.Microsecond, 0.95e6, pol)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -188,8 +226,13 @@ func run() int {
 		return cliutil.ExitUsage
 	}
 	if s := core.DefaultCache.CacheStats(); s.Hits+s.DiskHits+s.Misses > 0 {
-		fmt.Fprintf(os.Stderr, "run cache: %d memory hits, %d disk hits, %d simulated, %d stale\n",
+		line := fmt.Sprintf("run cache: %d memory hits, %d disk hits, %d simulated, %d stale",
 			s.Hits, s.DiskHits, s.Misses, s.Stale)
+		if s.GraphHits+s.GraphDiskHits+s.GraphMisses > 0 {
+			line += fmt.Sprintf("; graphs: %d memory hits, %d disk hits, %d recorded",
+				s.GraphHits, s.GraphDiskHits, s.GraphMisses)
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 	return cliutil.ReportOutcome(os.Stderr, "figures", pol)
 }

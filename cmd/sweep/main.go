@@ -57,8 +57,12 @@ func run() int {
 	)
 	sup := cliutil.RegisterSupervision("")
 	workers := cliutil.RegisterWorkers()
+	analytic := cliutil.RegisterAnalytic()
 	flag.Parse()
 	if err := cliutil.ApplyWorkers(*workers); err != nil {
+		return usage(err)
+	}
+	if err := analytic.Validate(); err != nil {
 		return usage(err)
 	}
 
@@ -120,6 +124,20 @@ func run() int {
 	x := core.Experiment{
 		App: app, Scale: scale, Optimized: *optimized,
 		Topo: topo, Params: params, Verify: *verify,
+	}
+	if analytic.Enabled {
+		if *jitter > 0 || *bwVar > 0 {
+			return usage(fmt.Errorf("-analytic cannot model fluctuating links (-jitter/-bwvar)"))
+		}
+		if *traceRun || *traceFull {
+			return usage(fmt.Errorf("-analytic predicts from a recorded graph; -trace/-trace-full need a simulated run"))
+		}
+		if !*noCache {
+			if err := core.DefaultCache.SetDir(*cacheDir); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: run cache disabled: %v\n", err)
+			}
+		}
+		return runAnalytic(x, scale, *bandwidth, pol, analytic.Tolerance)
 	}
 	if *jitter > 0 || *bwVar > 0 {
 		v := network.Variability{
@@ -212,6 +230,47 @@ func run() int {
 		for _, p := range full.TopPairs(5) {
 			fmt.Printf("  %3d -> %3d: %d bytes\n", p.Src, p.Dst, p.Bytes)
 		}
+	}
+	return cliutil.ExitOK
+}
+
+// runAnalytic answers the asked point from the variant's recorded reference
+// graph: one simulated run at the reference network point (shared across
+// reruns through the graph cache), then an analytic solve plus the
+// latency/bandwidth decomposition at the asked point.
+func runAnalytic(x core.Experiment, scale apps.Scale, bandwidthMB float64, pol *core.RunPolicy, tol float64) int {
+	label := fmt.Sprintf("%s (optimized=%v) on %s analytic reference", x.App.Name, x.Optimized, x.Topo)
+	pt, failed, err := core.SolveAnalytic(label, x, pol, core.DefaultCache, tol)
+	if err != nil {
+		fatal(err)
+	}
+	if failed != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %s\n", failed)
+		if rep := core.FailureReport(failed); rep != "" {
+			fmt.Fprintf(os.Stderr, "\n%s", rep)
+		}
+		return cliutil.ExitFailed
+	}
+	base := core.NewBaselines(scale)
+	tl, err := base.SingleCluster(x.App, x.Topo.Procs())
+	if err != nil {
+		fatal(err)
+	}
+	latGap, bwGap := x.Params.Gap()
+	fmt.Printf("application:        %s (optimized=%v, scale=%s)\n", x.App.Name, x.Optimized, scale)
+	fmt.Printf("machine:            %s, WAN %v one-way / %.3g MByte/s (gap: %.0fx latency, %.0fx bandwidth)\n",
+		x.Topo, x.Params.WANLatency, bandwidthMB, latGap, bwGap)
+	fmt.Printf("mode:               analytic/%s (graph: %d nodes, %d messages; recorded at %v / %.3g MByte/s; ref error %.2f%%)\n",
+		pt.Report.Engine, pt.Report.Nodes, pt.Report.Messages,
+		core.ReferenceWANLatency, core.ReferenceWANBandwidth/1e6, pt.Report.RefErrorPct)
+	fmt.Printf("predicted runtime:  %v (single cluster: %v)\n", pt.Elapsed, tl)
+	fmt.Printf("relative speedup:   %.1f%% of the all-fast-network run\n", core.RelativeSpeedup(tl, pt.Elapsed))
+	fmt.Printf("comm time share:    %.1f%%\n", core.CommTimePercent(tl, pt.Elapsed))
+	fmt.Printf("latency share:      %.1f%% of the predicted runtime is bought back by a zero-latency WAN\n", pt.LatencySharePct)
+	fmt.Printf("bandwidth share:    %.1f%% by an infinite-bandwidth WAN\n", pt.BandwidthSharePct)
+	if s := core.DefaultCache.CacheStats(); s.Hits+s.DiskHits+s.Misses+s.GraphHits+s.GraphDiskHits+s.GraphMisses > 0 {
+		fmt.Fprintf(os.Stderr, "run cache:          %d memory hits, %d disk hits, %d simulated, %d stale; graphs: %d memory hits, %d disk hits, %d recorded\n",
+			s.Hits, s.DiskHits, s.Misses, s.Stale, s.GraphHits, s.GraphDiskHits, s.GraphMisses)
 	}
 	return cliutil.ExitOK
 }

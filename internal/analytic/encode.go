@@ -1,0 +1,221 @@
+package analytic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+)
+
+// Binary graph format: the magic, a version, then the graph fields in
+// declaration order — scalars and times as signed varints, float64s as
+// fixed 8-byte IEEE bits, slices as a uvarint count followed by elements
+// (Ops as raw bytes). The format is self-contained and validated on
+// decode; content addressing and fingerprint gating live in the cache
+// layer above. JSON encoding needs no code here: the Graph's exported
+// fields marshal directly (with []uint8 as base64), and the round-trip
+// property test pins both encodings against each other.
+const (
+	binaryMagic   = "TLAG"
+	binaryVersion = 1
+)
+
+// EncodeBinary writes the graph in the binary format.
+func (g *Graph) EncodeBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		bw.Write(scratch[:n])
+	}
+	putVarint := func(v int64) {
+		n := binary.PutVarint(scratch[:], v)
+		bw.Write(scratch[:n])
+	}
+	putFloat := func(f float64) {
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(f))
+		bw.Write(scratch[:8])
+	}
+	putUvarint(binaryVersion)
+	putUvarint(uint64(g.Procs))
+	putUvarint(uint64(g.Clusters))
+	for _, c := range g.ClusterOf {
+		putVarint(int64(c))
+	}
+	putVarint(int64(g.Ref.IntraLatency))
+	putFloat(g.Ref.IntraBandwidth)
+	putVarint(int64(g.Ref.WANLatency))
+	putFloat(g.Ref.WANBandwidth)
+	putVarint(int64(g.Ref.SendOverhead))
+	putVarint(int64(g.Ref.RecvOverhead))
+	putVarint(int64(g.Ref.WANPerMessage))
+	putFloat(g.Ref.WANMessageRTTFactor)
+	putVarint(int64(g.RefElapsed))
+	putUvarint(uint64(len(g.Ops)))
+	bw.Write(g.Ops)
+	for _, r := range g.Rank {
+		putVarint(int64(r))
+	}
+	for _, a := range g.Arg {
+		putVarint(a)
+	}
+	putUvarint(uint64(len(g.MsgSrc)))
+	for _, s := range g.MsgSrc {
+		putVarint(int64(s))
+	}
+	for _, d := range g.MsgDst {
+		putVarint(int64(d))
+	}
+	for _, b := range g.MsgBytes {
+		putVarint(b)
+	}
+	for _, t := range g.MsgTag {
+		putVarint(t)
+	}
+	putUvarint(uint64(len(g.RecvFrom)))
+	for _, f := range g.RecvFrom {
+		putVarint(int64(f))
+	}
+	for _, t := range g.RecvTag {
+		putVarint(t)
+	}
+	bw.Write(g.RecvPoll)
+	return bw.Flush()
+}
+
+// DecodeBinary reads a graph in the binary format and validates it.
+func DecodeBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("analytic: reading graph magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("analytic: bad graph magic %q", magic)
+	}
+	var firstErr error
+	getUvarint := func() uint64 {
+		v, err := binary.ReadUvarint(br)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return v
+	}
+	getVarint := func() int64 {
+		v, err := binary.ReadVarint(br)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return v
+	}
+	getFloat := func() float64 {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return 0
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	getCount := func(what string) int {
+		v := getUvarint()
+		if v > math.MaxInt32 && firstErr == nil {
+			firstErr = fmt.Errorf("analytic: implausible %s count %d", what, v)
+		}
+		return int(v)
+	}
+	if v := getUvarint(); v != binaryVersion && firstErr == nil {
+		return nil, fmt.Errorf("analytic: unsupported graph format version %d", v)
+	}
+	g := &Graph{}
+	g.Procs = getCount("proc")
+	g.Clusters = getCount("cluster")
+	if firstErr != nil {
+		return nil, fmt.Errorf("analytic: decoding graph header: %w", firstErr)
+	}
+	if g.Procs <= 0 || g.Procs > math.MaxInt32 {
+		return nil, fmt.Errorf("analytic: implausible proc count %d", g.Procs)
+	}
+	g.ClusterOf = make([]int32, g.Procs)
+	for i := range g.ClusterOf {
+		g.ClusterOf[i] = int32(getVarint())
+	}
+	g.Ref = network.Params{
+		IntraLatency:        sim.Time(getVarint()),
+		IntraBandwidth:      getFloat(),
+		WANLatency:          sim.Time(getVarint()),
+		WANBandwidth:        getFloat(),
+		SendOverhead:        sim.Time(getVarint()),
+		RecvOverhead:        sim.Time(getVarint()),
+		WANPerMessage:       sim.Time(getVarint()),
+		WANMessageRTTFactor: getFloat(),
+	}
+	g.RefElapsed = sim.Time(getVarint())
+	ops := getCount("operation")
+	if firstErr != nil {
+		return nil, fmt.Errorf("analytic: decoding graph: %w", firstErr)
+	}
+	g.Ops = make([]uint8, ops)
+	if _, err := io.ReadFull(br, g.Ops); err != nil {
+		return nil, fmt.Errorf("analytic: decoding operations: %w", err)
+	}
+	g.Rank = make([]int32, ops)
+	for i := range g.Rank {
+		g.Rank[i] = int32(getVarint())
+	}
+	g.Arg = make([]int64, ops)
+	for i := range g.Arg {
+		g.Arg[i] = getVarint()
+	}
+	msgs := getCount("message")
+	if firstErr != nil {
+		return nil, fmt.Errorf("analytic: decoding graph: %w", firstErr)
+	}
+	g.MsgSrc = make([]int32, msgs)
+	for i := range g.MsgSrc {
+		g.MsgSrc[i] = int32(getVarint())
+	}
+	g.MsgDst = make([]int32, msgs)
+	for i := range g.MsgDst {
+		g.MsgDst[i] = int32(getVarint())
+	}
+	g.MsgBytes = make([]int64, msgs)
+	for i := range g.MsgBytes {
+		g.MsgBytes[i] = getVarint()
+	}
+	g.MsgTag = make([]int64, msgs)
+	for i := range g.MsgTag {
+		g.MsgTag[i] = getVarint()
+	}
+	recvs := getCount("receive pattern")
+	if firstErr != nil {
+		return nil, fmt.Errorf("analytic: decoding graph: %w", firstErr)
+	}
+	g.RecvFrom = make([]int32, recvs)
+	for i := range g.RecvFrom {
+		g.RecvFrom[i] = int32(getVarint())
+	}
+	g.RecvTag = make([]int64, recvs)
+	for i := range g.RecvTag {
+		g.RecvTag[i] = getVarint()
+	}
+	g.RecvPoll = make([]uint8, recvs)
+	if _, err := io.ReadFull(br, g.RecvPoll); err != nil {
+		return nil, fmt.Errorf("analytic: decoding receive patterns: %w", err)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("analytic: decoding graph: %w", firstErr)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,320 @@
+package analytic
+
+import (
+	"math"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+)
+
+// Eval replays a recorded Graph under candidate network parameters and
+// returns the predicted completion time. The replay walks the operation
+// stream once — it is already a topological order — carrying the same
+// state the simulator's network keeps: each rank's clock, and the freeAt
+// horizon of every FIFO link (per-rank NICs, directed cluster-pair
+// wide-area pipes, per-cluster gateways). Edge costs are re-derived from
+// the candidate parameters with the simulator's exact formulas, so solving
+// at the recorded reference point reproduces the recorded elapsed time bit
+// for bit. Away from the reference the frozen behaviour (message set,
+// matchings, link booking order) is an approximation — conservative for
+// contention, since the recorded FIFO chains serialize messages even where
+// a slower network would have spread them out.
+//
+// An Eval carries reusable state and is not safe for concurrent use;
+// create one evaluator per goroutine (the graph itself is read-only and
+// shared).
+type Eval struct {
+	g *Graph
+
+	rankEnd   []sim.Time // per-rank clock
+	nicFree   []sim.Time // per-rank outgoing NIC horizon
+	gwFree    []sim.Time // per-cluster gateway horizon
+	wanFree   []sim.Time // directed cluster-pair wide-area horizons, src*C+dst
+	delivered []sim.Time // per-message delivery time
+
+	// Incremental mode: everything before the first wide-area send is
+	// independent of the WAN parameters, so a snapshot of the replay state
+	// there lets WAN-only sweeps skip the shared prefix. wanStart is the
+	// operation index of the first wide-area send (len(Ops) if none);
+	// prefixMsgs counts messages sent before it.
+	wanStart   int
+	prefixMsgs int
+	snapValid  bool
+	snapLan    lanParams
+	snapState  []sim.Time // concatenated copies of the five arrays at wanStart
+
+	// Matched-replay state (SolveMatched), built on first use. rankOps
+	// holds each rank's operation indices in record order; opPat maps each
+	// OpRecv to its pattern ordinal (-1 elsewhere); the m* arrays, pending
+	// sets and consumed flags are per-solve scratch. The event queue is a
+	// per-rank wake array (mWake/mWakeOp: at most one live wakeup per rank,
+	// timeInf when parked) with a cached minimum (minT/minOp/minRank); see
+	// the queue comment in eval_matched.go.
+	rankOps  [][]int32
+	opPat    []int32
+	mPos     []int32
+	mAtRecv  []bool
+	mAwait   []int64
+	mWake    []sim.Time
+	mWakeOp  []int32
+	pending  [][]int32
+	consumed []bool
+	minT     sim.Time
+	minOp    int32
+	minRank  int32
+	mNarrow  bool // current pass narrows tag-wildcard receives
+	// mSpecific (computed once, mSpecificSet guards) marks graphs with no
+	// wildcard receives, where the frozen pass IS the matched answer.
+	mSpecific, mSpecificSet bool
+
+	// Counters for benchmarking and reports.
+	fullSolves, incrementalSolves int
+	matchedSolves, matchedNarrowed, matchedFallbacks,
+	matchedConflicts int
+	opsEvaluated int64
+}
+
+// lanParams is the subset of network parameters that can affect replay
+// state before the first wide-area send. Two parameter sets agreeing on
+// these share the same prefix state.
+type lanParams struct {
+	intraLatency   sim.Time
+	intraBandwidth float64
+	sendOverhead   sim.Time
+	recvOverhead   sim.Time
+}
+
+func lanOf(p network.Params) lanParams {
+	return lanParams{p.IntraLatency, p.IntraBandwidth, p.SendOverhead, p.RecvOverhead}
+}
+
+// Graph returns the recorded graph the evaluator replays. It is read-only
+// and safe to share: independent evaluators over the same graph let a sweep
+// solve disjoint parameter sets concurrently.
+func (e *Eval) Graph() *Graph {
+	return e.g
+}
+
+// NewEval prepares an evaluator for g. The graph must be valid (see
+// Graph.Validate); recorder-built graphs always are.
+func NewEval(g *Graph) *Eval {
+	e := &Eval{
+		g:         g,
+		rankEnd:   make([]sim.Time, g.Procs),
+		nicFree:   make([]sim.Time, g.Procs),
+		gwFree:    make([]sim.Time, g.Clusters),
+		wanFree:   make([]sim.Time, g.Clusters*g.Clusters),
+		delivered: make([]sim.Time, len(g.MsgSrc)),
+	}
+	e.wanStart = len(g.Ops)
+	for i, k := range g.Ops {
+		if k != OpSend {
+			continue
+		}
+		m := g.Arg[i]
+		if src, dst := g.MsgSrc[m], g.MsgDst[m]; src != dst && g.ClusterOf[src] != g.ClusterOf[dst] {
+			e.wanStart = i
+			e.prefixMsgs = int(m)
+			break
+		}
+	}
+	return e
+}
+
+// Solve predicts the completion time under p. Sweeps that vary only the
+// wide-area knobs (WithWAN) automatically reuse the prefix snapshot; any
+// other change falls back to a full pass, which also refreshes the
+// snapshot.
+func (e *Eval) Solve(p network.Params) sim.Time {
+	g := e.g
+	start, msgs := 0, 0
+	if e.snapValid && lanOf(p) == e.snapLan {
+		e.restore()
+		start, msgs = e.wanStart, e.prefixMsgs
+		e.incrementalSolves++
+	} else {
+		clearTimes(e.rankEnd)
+		clearTimes(e.nicFree)
+		clearTimes(e.gwFree)
+		clearTimes(e.wanFree)
+		e.fullSolves++
+	}
+
+	c := g.Clusters
+	rttExtra := sim.Time(float64(2*p.WANLatency) * p.WANMessageRTTFactor)
+	for i := start; i < len(g.Ops); i++ {
+		if i == e.wanStart && start == 0 {
+			e.snapshot(lanOf(p))
+		}
+		rank := g.Rank[i]
+		switch g.Ops[i] {
+		case OpSpan:
+			e.rankEnd[rank] += sim.Time(g.Arg[i])
+		case OpSend:
+			m := g.Arg[i]
+			size := g.MsgBytes[m]
+			// The sender is occupied for the software overhead, and the
+			// message enters the network at the same horizon (network.send's
+			// ready and Env.Send's post-charge clock coincide).
+			ready := e.rankEnd[rank] + p.SendOverhead
+			e.rankEnd[rank] = ready
+			dst := g.MsgDst[m]
+			if dst == rank {
+				// Loopback: software overheads only.
+				e.delivered[m] = ready + p.RecvOverhead
+				msgs++
+				break
+			}
+			nicDone := reserve(&e.nicFree[rank], ready, size, p.IntraBandwidth, 0)
+			localArrive := nicDone + p.IntraLatency
+			if sc, dc := g.ClusterOf[rank], g.ClusterOf[dst]; sc != dc {
+				wanDone := reserve(&e.wanFree[int(sc)*c+int(dc)],
+					localArrive+p.WANPerMessage, size, p.WANBandwidth, rttExtra)
+				gwDone := reserve(&e.gwFree[dc], wanDone+p.WANLatency, size, p.IntraBandwidth, 0)
+				e.delivered[m] = gwDone + p.IntraLatency + p.RecvOverhead
+			} else {
+				e.delivered[m] = localArrive + p.RecvOverhead
+			}
+			msgs++
+		case OpRecv:
+			if d := e.delivered[g.Arg[i]]; d > e.rankEnd[rank] {
+				e.rankEnd[rank] = d
+			}
+		}
+	}
+	e.opsEvaluated += int64(len(g.Ops) - start)
+
+	var elapsed sim.Time
+	for _, t := range e.rankEnd {
+		if t > elapsed {
+			elapsed = t
+		}
+	}
+	return elapsed
+}
+
+// reserve mirrors network.link.reserveWith: book size bytes onto the link
+// no earlier than ready, holding it for the transmission plus extra, and
+// return when the last byte leaves.
+func reserve(freeAt *sim.Time, ready sim.Time, size int64, bandwidth float64, extra sim.Time) sim.Time {
+	start := ready
+	if *freeAt > start {
+		start = *freeAt
+	}
+	end := start + sim.TransmissionTime(size, bandwidth) + extra
+	*freeAt = end
+	return end
+}
+
+func clearTimes(s []sim.Time) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// snapshot saves the replay state reached just before the first wide-area
+// send. delivered is copied only up to the prefix: later entries are
+// rewritten by their own send before any recv reads them (record order).
+func (e *Eval) snapshot(lan lanParams) {
+	need := len(e.rankEnd) + len(e.nicFree) + len(e.gwFree) + len(e.wanFree) + e.prefixMsgs
+	if cap(e.snapState) < need {
+		e.snapState = make([]sim.Time, need)
+	}
+	s := e.snapState[:0]
+	s = append(s, e.rankEnd...)
+	s = append(s, e.nicFree...)
+	s = append(s, e.gwFree...)
+	s = append(s, e.wanFree...)
+	s = append(s, e.delivered[:e.prefixMsgs]...)
+	e.snapState = s
+	e.snapLan = lan
+	e.snapValid = true
+}
+
+func (e *Eval) restore() {
+	s := e.snapState
+	s = s[copy(e.rankEnd, s):]
+	s = s[copy(e.nicFree, s):]
+	s = s[copy(e.gwFree, s):]
+	s = s[copy(e.wanFree, s):]
+	copy(e.delivered[:e.prefixMsgs], s)
+}
+
+// Stats reports how the evaluator has been exercised.
+type Stats struct {
+	// FullSolves and IncrementalSolves count Solve calls by mode.
+	FullSolves, IncrementalSolves int
+	// MatchedSolves counts completed SolveMatched replays;
+	// MatchedNarrowed counts those that stalled and succeeded on the
+	// narrowed second pass; MatchedFallbacks counts replays that stalled
+	// on both passes and fell back to the frozen matching;
+	// MatchedConflicts counts recorded poll messages a dynamic wildcard
+	// match consumed first.
+	MatchedSolves, MatchedNarrowed, MatchedFallbacks, MatchedConflicts int
+	// OpsEvaluated is the total operations replayed across all solves;
+	// with incremental reuse it undercounts Nodes×Solves by the skipped
+	// prefixes.
+	OpsEvaluated int64
+	// PrefixNodes is the length of the WAN-independent prefix that
+	// incremental solves skip.
+	PrefixNodes int
+}
+
+// Stats returns the evaluator's counters.
+func (e *Eval) Stats() Stats {
+	return Stats{
+		FullSolves:        e.fullSolves,
+		IncrementalSolves: e.incrementalSolves,
+		MatchedSolves:     e.matchedSolves,
+		MatchedNarrowed:   e.matchedNarrowed,
+		MatchedFallbacks:  e.matchedFallbacks,
+		MatchedConflicts:  e.matchedConflicts,
+		OpsEvaluated:      e.opsEvaluated,
+		PrefixNodes:       e.wanStart,
+	}
+}
+
+// Sensitivity decomposes a predicted completion time into the shares
+// attributable to wide-area latency and bandwidth, LLAMP-style: solve at
+// p, then with the latency zeroed, then with infinite bandwidth. The
+// differences are the critical-path time each resource costs the
+// application at that point.
+type Sensitivity struct {
+	// Elapsed is the predicted completion time at the asked point.
+	Elapsed sim.Time
+	// LatencyCost is Elapsed minus the completion time with a zero-latency
+	// WAN (bandwidth unchanged): the critical-path time bought back by an
+	// infinitely short link.
+	LatencyCost sim.Time
+	// BandwidthCost is Elapsed minus the completion time with an
+	// infinite-bandwidth WAN (latency unchanged).
+	BandwidthCost sim.Time
+}
+
+// LatencyShare returns LatencyCost as a fraction of Elapsed.
+func (s Sensitivity) LatencyShare() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.LatencyCost) / float64(s.Elapsed)
+}
+
+// BandwidthShare returns BandwidthCost as a fraction of Elapsed.
+func (s Sensitivity) BandwidthShare() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.BandwidthCost) / float64(s.Elapsed)
+}
+
+// Sensitivity computes the latency/bandwidth decomposition at p.
+func (e *Eval) Sensitivity(p network.Params) Sensitivity {
+	s := Sensitivity{Elapsed: e.Solve(p)}
+	zeroLat := p
+	zeroLat.WANLatency = 0
+	s.LatencyCost = s.Elapsed - e.Solve(zeroLat)
+	infBW := p
+	infBW.WANBandwidth = math.MaxFloat64
+	s.BandwidthCost = s.Elapsed - e.Solve(infBW)
+	return s
+}

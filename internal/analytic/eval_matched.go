@@ -1,0 +1,430 @@
+package analytic
+
+import (
+	"math"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+)
+
+// The frozen replay in Solve keeps the reference run's receive matchings:
+// whichever queued message a wildcard receive consumed at the reference
+// point, it consumes at every grid point. That is exact at the reference
+// and accurate for deterministic communication patterns, but applications
+// that post AnySender receives (Water's result collection, unoptimized
+// ASP's broadcast forwarding) see their message arrival ORDER change with
+// the wide-area parameters, and pinning the reference order misassigns
+// multi-millisecond waits.
+//
+// SolveMatched fixes that: it re-runs the recorded per-rank operation
+// streams as a small discrete-event simulation and lets each receive match
+// whichever recorded message satisfies its recorded selection pattern
+// first under the candidate timings. Message set, per-rank program order
+// and compute spans stay frozen (the application's control flow is not
+// re-derived — a genuinely adaptive app like branch-and-bound TSP remains
+// approximate); only the matching and the link booking order are dynamic.
+
+// timeInf is an unreachable wake time for parked ranks.
+const timeInf = sim.Time(math.MaxInt64)
+
+// ensureMatched builds the per-rank operation streams and the op-to-pattern
+// map on first use, plus the reusable replay state.
+func (e *Eval) ensureMatched() {
+	if e.rankOps != nil {
+		return
+	}
+	g := e.g
+	counts := make([]int32, g.Procs)
+	for _, r := range g.Rank {
+		counts[r]++
+	}
+	e.rankOps = make([][]int32, g.Procs)
+	for r := range e.rankOps {
+		e.rankOps[r] = make([]int32, 0, counts[r])
+	}
+	e.opPat = make([]int32, len(g.Ops))
+	pat := int32(0)
+	for i, k := range g.Ops {
+		e.rankOps[g.Rank[i]] = append(e.rankOps[g.Rank[i]], int32(i))
+		if k == OpRecv {
+			e.opPat[i] = pat
+			pat++
+		} else {
+			e.opPat[i] = -1
+		}
+	}
+	e.mPos = make([]int32, g.Procs)
+	e.mAtRecv = make([]bool, g.Procs)
+	e.mAwait = make([]int64, g.Procs)
+	e.mWake = make([]sim.Time, g.Procs)
+	e.mWakeOp = make([]int32, g.Procs)
+	e.pending = make([][]int32, g.Procs)
+	e.consumed = make([]bool, len(g.MsgSrc))
+}
+
+// The wake queue: at most one pending wakeup exists per rank (mWake[r],
+// keyed (time, recorded op index) — record order is the simulator's
+// execution order, so the tie-break reproduces the simulator's
+// interleaving of same-time events at the reference point; op indices are
+// globally unique, so live keys never tie). A flat per-rank array beats
+// both a binary heap and a tournament tree here: waking a rank is an
+// in-place improvement plus one cached-min compare, the running rank's
+// per-op frontier test is two compares against the cached minimum, and a
+// pop rescans a few dozen contiguous slots — cheaper in practice than
+// chasing pointer-shaped structures at these rank counts.
+
+// wake schedules (or improves) rank r's wakeup and maintains the cached
+// minimum. Callers only ever move wakeups earlier.
+func (e *Eval) wake(r int32, t sim.Time, op int32) {
+	e.mWake[r] = t
+	e.mWakeOp[r] = op
+	if t < e.minT || (t == e.minT && op < e.minOp) {
+		e.minT, e.minOp, e.minRank = t, op, r
+	}
+}
+
+// rescanMin recomputes the cached minimum after a wakeup is consumed.
+// Parked ranks carry timeInf and lose to any live one.
+func (e *Eval) rescanMin() {
+	minT, minOp, minRank := timeInf, int32(0), int32(-1)
+	for r, w := range e.mWake {
+		if w > minT || w == timeInf {
+			continue
+		}
+		if w < minT || e.mWakeOp[r] < minOp {
+			minT, minOp, minRank = w, e.mWakeOp[r], int32(r)
+		}
+	}
+	e.minT, e.minOp, e.minRank = minT, minOp, minRank
+}
+
+// take consumes message m from rank r's pending set.
+func (e *Eval) take(r, m int32) {
+	e.consumed[m] = true
+	pl := e.pending[r]
+	for j, pm := range pl {
+		if pm == m {
+			pl[j] = pl[len(pl)-1]
+			e.pending[r] = pl[:len(pl)-1]
+			return
+		}
+	}
+}
+
+// notifyMatched re-wakes dst if it is blocked at a receive the newly
+// delivered message m satisfies — or if m is the exact message a poll is
+// waiting for. An earlier match than the currently scheduled wakeup
+// supersedes it.
+func (e *Eval) notifyMatched(dst, m int32, d sim.Time) {
+	if !e.mAtRecv[dst] {
+		return
+	}
+	g := e.g
+	if aw := e.mAwait[dst]; aw >= 0 {
+		if aw != int64(m) {
+			return
+		}
+	} else {
+		i := e.rankOps[dst][e.mPos[dst]]
+		pat := e.opPat[i]
+		if f := g.RecvFrom[pat]; f >= 0 && f != g.MsgSrc[m] {
+			return
+		}
+		tg := g.RecvTag[pat]
+		if tg == anyTag && e.mNarrow {
+			tg = g.MsgTag[g.Arg[i]] // same narrowing as the receive itself
+		}
+		if tg != anyTag && tg != g.MsgTag[m] {
+			return
+		}
+	}
+	wakeAt := e.rankEnd[dst]
+	if d > wakeAt {
+		wakeAt = d
+	}
+	if wakeAt >= e.mWake[dst] {
+		return
+	}
+	e.wake(dst, wakeAt, e.rankOps[dst][e.mPos[dst]])
+}
+
+// allSpecific reports whether every recorded receive pins both sender and
+// tag (or is a poll, which replays frozen regardless). Such a graph gives
+// the dynamic matcher no freedom: messages of one (sender, tag) kind ride
+// the same FIFO link chain in program order, so their delivery order —
+// and therefore every matching — is identical at every parameter point,
+// and the frozen pass already computes the matched answer exactly.
+func (e *Eval) allSpecific() bool {
+	g := e.g
+	for pat := range g.RecvFrom {
+		if g.RecvPoll[pat] != 0 {
+			continue
+		}
+		if g.RecvFrom[pat] < 0 || g.RecvTag[pat] == anyTag {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveMatched predicts the completion time under p with dynamic receive
+// matching (see the package comment above). It is a full replay every time
+// — no incremental prefix reuse — unless the graph has no wildcard
+// receives at all, in which case the far cheaper frozen pass is provably
+// identical and is used instead (still counted as a matched solve). A
+// replay can stall when a wildcard receive consumes a message a later
+// receive was recorded to need; the solver then escalates through two
+// recovery tiers, counted in Stats: first a narrowed pass where
+// tag-wildcard receives only reorder within their recorded message kind,
+// then the frozen Solve.
+func (e *Eval) SolveMatched(p network.Params) sim.Time {
+	if !e.mSpecificSet {
+		e.mSpecific = e.allSpecific()
+		e.mSpecificSet = true
+	}
+	if e.mSpecific {
+		e.matchedSolves++
+		return e.Solve(p)
+	}
+	if t, ok := e.solveMatched(p, false); ok {
+		e.matchedSolves++
+		return t
+	}
+	if t, ok := e.solveMatched(p, true); ok {
+		e.matchedSolves++
+		e.matchedNarrowed++
+		return t
+	}
+	e.matchedFallbacks++
+	return e.Solve(p)
+}
+
+func (e *Eval) solveMatched(p network.Params, narrow bool) (sim.Time, bool) {
+	e.ensureMatched()
+	e.mNarrow = narrow
+	g := e.g
+	clearTimes(e.rankEnd)
+	clearTimes(e.nicFree)
+	clearTimes(e.gwFree)
+	clearTimes(e.wanFree)
+	for i := range e.delivered {
+		e.delivered[i] = -1
+	}
+	for i := range e.consumed {
+		e.consumed[i] = false
+	}
+	e.minT, e.minOp, e.minRank = timeInf, 0, -1
+	for r := 0; r < g.Procs; r++ {
+		e.mPos[r] = 0
+		e.mAtRecv[r] = false
+		e.mAwait[r] = -1
+		e.mWake[r] = timeInf
+		e.pending[r] = e.pending[r][:0]
+		if len(e.rankOps[r]) > 0 {
+			e.wake(int32(r), 0, e.rankOps[r][0])
+		}
+	}
+
+	c := g.Clusters
+	rttExtra := sim.Time(float64(2*p.WANLatency) * p.WANMessageRTTFactor)
+	var executed int64
+	for e.minRank >= 0 {
+		r := e.minRank
+		e.mWake[r] = timeInf // consume the wakeup
+		e.rescanMin()        // cached minimum now excludes the running rank
+		e.mAtRecv[r] = false
+		e.mAwait[r] = -1
+		ops := e.rankOps[r]
+		pos := e.mPos[r]
+		t := e.rankEnd[r]
+	run:
+		for int(pos) < len(ops) {
+			i := ops[pos]
+			// A rank may run ahead of global time through compute spans,
+			// local sends and receive commits: spans and local sends touch
+			// only its own clock and its own NIC link, and a receive's
+			// commit rule below checks the global frontier itself. Only a
+			// wide-area send must wait its global turn (see its case).
+			switch g.Ops[i] {
+			case OpSpan:
+				t += sim.Time(g.Arg[i])
+				pos++
+			case OpSend:
+				m := g.Arg[i]
+				dst := g.MsgDst[m]
+				wan := false
+				if dst != r {
+					wan = g.ClusterOf[r] != g.ClusterOf[dst]
+				}
+				if wan && (e.minT < t || (e.minT == t && e.minOp < i)) {
+					// The wide-area pipe and the destination gateway are
+					// shared FIFO links, booked eagerly at send time as in
+					// the simulator — those bookings must happen in global
+					// time order. Every queued wakeup lower-bounds its
+					// rank's future send times, so waiting until this send
+					// is globally next reproduces the simulator's order.
+					e.wake(r, t, i)
+					break run
+				}
+				size := g.MsgBytes[m]
+				ready := t + p.SendOverhead
+				t = ready
+				var d sim.Time
+				if dst == r {
+					d = ready + p.RecvOverhead
+				} else {
+					nicDone := reserve(&e.nicFree[r], ready, size, p.IntraBandwidth, 0)
+					localArrive := nicDone + p.IntraLatency
+					if wan {
+						sc, dc := g.ClusterOf[r], g.ClusterOf[dst]
+						wanDone := reserve(&e.wanFree[int(sc)*c+int(dc)],
+							localArrive+p.WANPerMessage, size, p.WANBandwidth, rttExtra)
+						gwDone := reserve(&e.gwFree[dc], wanDone+p.WANLatency, size, p.IntraBandwidth, 0)
+						d = gwDone + p.IntraLatency + p.RecvOverhead
+					} else {
+						d = localArrive + p.RecvOverhead
+					}
+				}
+				e.delivered[m] = d
+				e.pending[dst] = append(e.pending[dst], int32(m))
+				pos++
+				e.notifyMatched(dst, int32(m), d)
+			case OpRecv:
+				pat := e.opPat[i]
+				if g.RecvPoll[pat] != 0 {
+					// Poll hits keep their recorded matching: a non-blocking
+					// receive that found a different message (or none) would
+					// change control flow, which replay cannot represent.
+					m := int32(g.Arg[i])
+					if e.consumed[m] {
+						e.matchedConflicts++
+						pos++
+						break
+					}
+					if e.delivered[m] < 0 {
+						// Recorded message not sent yet: wait for it — the
+						// frozen hard edge.
+						e.mAtRecv[r] = true
+						e.mAwait[r] = int64(m)
+						break run
+					}
+					e.take(r, m)
+					if d := e.delivered[m]; d > t {
+						t = d
+					}
+					pos++
+					break
+				}
+				from, tag := g.RecvFrom[pat], g.RecvTag[pat]
+				if tag == anyTag && e.mNarrow {
+					// Narrowed pass: reorder only within the recorded
+					// message's kind, so a tag-wildcard receive cannot steal
+					// a message a later specific-tag receive needs.
+					tag = g.MsgTag[g.Arg[i]]
+				}
+				best, bestD := int32(-1), sim.Time(0)
+				for _, pm := range e.pending[r] {
+					if from >= 0 && g.MsgSrc[pm] != from {
+						continue
+					}
+					if tag != anyTag && g.MsgTag[pm] != tag {
+						continue
+					}
+					if d := e.delivered[pm]; best < 0 || d < bestD || (d == bestD && pm < best) {
+						best, bestD = pm, d
+					}
+				}
+				if best >= 0 {
+					// Commit only if no rank can still produce an earlier
+					// match: every queued wakeup is at bestD or later, and
+					// an unexecuted send delivers no earlier than its
+					// sender's wakeup. (The candidate itself may arrive
+					// after t — a blocking receive waits for the earliest
+					// matching arrival, which this minimum then is.)
+					if e.minT >= bestD {
+						e.take(r, best)
+						if bestD > t {
+							t = bestD
+						}
+						pos++
+						break
+					}
+					// Re-pose the receive when the candidate arrives; an
+					// earlier match appearing meanwhile re-wakes us sooner.
+					e.mAtRecv[r] = true
+					e.wake(r, bestD, i)
+					break run
+				}
+				// Nothing matches yet: park until a matching send shows up.
+				e.mAtRecv[r] = true
+				break run
+			}
+			executed++
+		}
+		e.mPos[r] = pos
+		e.rankEnd[r] = t
+	}
+	e.opsEvaluated += executed
+
+	for r := 0; r < g.Procs; r++ {
+		if int(e.mPos[r]) < len(e.rankOps[r]) {
+			return 0, false // stalled: the caller escalates
+		}
+	}
+	var elapsed sim.Time
+	for _, t := range e.rankEnd {
+		if t > elapsed {
+			elapsed = t
+		}
+	}
+	return elapsed, true
+}
+
+// FrozenAccurate reports whether the frozen replay tracks the matched
+// replay within relTol (relative error, e.g. 0.0167 for 1.67%) at every
+// probe point. Graphs whose receives all pin sender and tag pass trivially
+// (the two replays are provably identical there). When the probes pass,
+// a sweep can answer its whole grid with the far cheaper — and
+// incremental — frozen pass without giving up matched-mode accuracy
+// beyond relTol: the probes are chosen at the grid corners, where the two
+// replays diverge first when they diverge at all.
+func (e *Eval) FrozenAccurate(probes []network.Params, relTol float64) bool {
+	if !e.mSpecificSet {
+		e.mSpecific = e.allSpecific()
+		e.mSpecificSet = true
+	}
+	if e.mSpecific {
+		return true
+	}
+	for _, p := range probes {
+		m := e.SolveMatched(p)
+		f := e.Solve(p)
+		if m <= 0 {
+			if f != m {
+				return false
+			}
+			continue
+		}
+		d := float64(f-m) / float64(m)
+		if d < 0 {
+			d = -d
+		}
+		if d > relTol {
+			return false
+		}
+	}
+	return true
+}
+
+// SensitivityMatched computes the latency/bandwidth decomposition at p
+// using the matched replay.
+func (e *Eval) SensitivityMatched(p network.Params) Sensitivity {
+	s := Sensitivity{Elapsed: e.SolveMatched(p)}
+	zeroLat := p
+	zeroLat.WANLatency = 0
+	s.LatencyCost = s.Elapsed - e.SolveMatched(zeroLat)
+	infBW := p
+	infBW.WANBandwidth = math.MaxFloat64
+	s.BandwidthCost = s.Elapsed - e.SolveMatched(infBW)
+	return s
+}

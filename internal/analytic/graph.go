@@ -1,0 +1,213 @@
+// Package analytic predicts application completion times across the
+// wide-area parameter grid from a single traced run, following the LLAMP
+// line of work: record the run's dependency structure once at a reference
+// network point, then re-cost the wide-area edges for any candidate
+// (latency, bandwidth) and take the critical path. Sensitivity sweeps drop
+// from O(grid × run) to O(run + grid × solve).
+//
+// The graph is the exact operation stream of the recorded run: per-rank
+// compute spans, send operations (each owning one message record), and
+// receive operations naming the message they consumed. Operations appear
+// in simulation execution order, which is a topological order of the
+// dependency DAG, so the evaluator is a single forward pass over flat
+// arrays — no pointers, no per-node allocation, int32 handles throughout.
+//
+// What is frozen at recording time — and therefore approximated when the
+// evaluator extrapolates away from the reference point — is the
+// application's behaviour: which messages are sent, how much computation
+// happens, which queued message each receive matches, and the order in
+// which sends book the shared FIFO links (NICs, wide-area pipes,
+// gateways). At the reference point itself the replay is exact, bit for
+// bit; the differential tests in package core measure the drift elsewhere.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+)
+
+// anyTag mirrors the runtime's AnyTag sentinel (package par reserves -1:
+// real tags are non-negative application values or other negatives).
+const anyTag int64 = -1
+
+// Operation kinds. Stored in Graph.Ops; one byte per operation.
+const (
+	// OpSpan is a compute span: Rank computed for Arg nanoseconds.
+	OpSpan uint8 = iota
+	// OpSend is a send call by Rank; Arg indexes the message records.
+	// The send advances the rank's clock by the software send overhead
+	// and books the message onto its links.
+	OpSend
+	// OpRecv is a receive by Rank consuming message Arg: the rank's clock
+	// advances to the message's delivery time if it has not passed it.
+	OpRecv
+	opKinds // count of valid kinds, for validation
+)
+
+// Graph is the recorded dependency structure of one run: parallel arrays
+// of operations (execution order) and of messages (send order). All
+// handles are indices; MsgSrc/MsgDst/MsgBytes are one entry per message,
+// Ops/Rank/Arg one entry per operation.
+type Graph struct {
+	// Procs and Clusters mirror the recorded topology; ClusterOf maps each
+	// rank to its cluster.
+	Procs     int     `json:"procs"`
+	Clusters  int     `json:"clusters"`
+	ClusterOf []int32 `json:"cluster_of"`
+	// Ref is the network point the run was simulated at; RefElapsed its
+	// completion time. Solve(Ref) must reproduce RefElapsed exactly — any
+	// difference means the graph is corrupt or the replay model has
+	// drifted from the simulator.
+	Ref        network.Params `json:"ref"`
+	RefElapsed sim.Time       `json:"ref_elapsed"`
+
+	// Ops, Rank and Arg describe the operations: Ops[i] is the kind,
+	// Rank[i] the acting rank, Arg[i] the span duration (OpSpan) or the
+	// message index (OpSend, OpRecv).
+	Ops  []uint8 `json:"ops"`
+	Rank []int32 `json:"rank"`
+	Arg  []int64 `json:"arg"`
+
+	// Per-message records, indexed by send order. MsgTag is the
+	// application-level tag, needed to re-derive receive matchings; the
+	// runtime reserves -1 (its AnyTag sentinel), so every recorded tag is
+	// an actual value.
+	MsgSrc   []int32 `json:"msg_src"`
+	MsgDst   []int32 `json:"msg_dst"`
+	MsgBytes []int64 `json:"msg_bytes"`
+	MsgTag   []int64 `json:"msg_tag"`
+
+	// Per-receive records, indexed by the ordinal of the OpRecv among the
+	// operations: the selection pattern (RecvFrom < 0 matches any sender;
+	// RecvTag is the runtime's tag value) and whether the receive was a
+	// non-blocking poll. The pattern is what lets the matched-replay
+	// evaluator re-derive wildcard matchings under different timings;
+	// Arg still records the message the reference run actually consumed.
+	RecvFrom []int32 `json:"recv_from"`
+	RecvTag  []int64 `json:"recv_tag"`
+	RecvPoll []uint8 `json:"recv_poll"`
+}
+
+// Messages returns the number of recorded messages.
+func (g *Graph) Messages() int { return len(g.MsgSrc) }
+
+// Nodes returns the number of recorded operations.
+func (g *Graph) Nodes() int { return len(g.Ops) }
+
+// Validate bounds-checks every handle in the graph so the evaluator can
+// index without further checks. A decoded graph must be validated before
+// use; recorder-built graphs satisfy this by construction.
+func (g *Graph) Validate() error {
+	if g.Procs <= 0 || g.Clusters <= 0 || g.Clusters > g.Procs {
+		return fmt.Errorf("analytic: bad shape: %d procs, %d clusters", g.Procs, g.Clusters)
+	}
+	if len(g.ClusterOf) != g.Procs {
+		return fmt.Errorf("analytic: cluster map has %d entries for %d procs", len(g.ClusterOf), g.Procs)
+	}
+	for r, c := range g.ClusterOf {
+		if c < 0 || int(c) >= g.Clusters {
+			return fmt.Errorf("analytic: rank %d mapped to cluster %d of %d", r, c, g.Clusters)
+		}
+	}
+	if len(g.Rank) != len(g.Ops) || len(g.Arg) != len(g.Ops) {
+		return fmt.Errorf("analytic: op arrays disagree: %d kinds, %d ranks, %d args",
+			len(g.Ops), len(g.Rank), len(g.Arg))
+	}
+	if len(g.MsgDst) != len(g.MsgSrc) || len(g.MsgBytes) != len(g.MsgSrc) || len(g.MsgTag) != len(g.MsgSrc) {
+		return fmt.Errorf("analytic: message arrays disagree: %d src, %d dst, %d bytes, %d tags",
+			len(g.MsgSrc), len(g.MsgDst), len(g.MsgBytes), len(g.MsgTag))
+	}
+	for i := range g.MsgSrc {
+		if s := g.MsgSrc[i]; s < 0 || int(s) >= g.Procs {
+			return fmt.Errorf("analytic: message %d from invalid rank %d", i, s)
+		}
+		if d := g.MsgDst[i]; d < 0 || int(d) >= g.Procs {
+			return fmt.Errorf("analytic: message %d to invalid rank %d", i, d)
+		}
+		if g.MsgBytes[i] < 0 {
+			return fmt.Errorf("analytic: message %d has negative size %d", i, g.MsgBytes[i])
+		}
+	}
+	if len(g.RecvTag) != len(g.RecvFrom) || len(g.RecvPoll) != len(g.RecvFrom) {
+		return fmt.Errorf("analytic: receive-pattern arrays disagree: %d from, %d tag, %d poll",
+			len(g.RecvFrom), len(g.RecvTag), len(g.RecvPoll))
+	}
+	sends, recvs := 0, 0
+	for i, k := range g.Ops {
+		if k >= opKinds {
+			return fmt.Errorf("analytic: op %d has unknown kind %d", i, k)
+		}
+		if r := g.Rank[i]; r < 0 || int(r) >= g.Procs {
+			return fmt.Errorf("analytic: op %d acts for invalid rank %d", i, r)
+		}
+		switch k {
+		case OpSpan:
+			if g.Arg[i] < 0 {
+				return fmt.Errorf("analytic: op %d is a negative span (%d ns)", i, g.Arg[i])
+			}
+		case OpSend:
+			// Sends own message records in order: the j-th send op must
+			// reference message j, or replay state diverges from recording.
+			if g.Arg[i] != int64(sends) {
+				return fmt.Errorf("analytic: send op %d references message %d, want %d", i, g.Arg[i], sends)
+			}
+			if sends >= len(g.MsgSrc) {
+				return fmt.Errorf("analytic: send op %d beyond the %d recorded messages", i, len(g.MsgSrc))
+			}
+			if g.Rank[i] != g.MsgSrc[sends] {
+				return fmt.Errorf("analytic: send op %d by rank %d but message %d is from %d",
+					i, g.Rank[i], sends, g.MsgSrc[sends])
+			}
+			sends++
+		case OpRecv:
+			// The consumed message must already have been sent: record
+			// order is execution order and delivery follows the send.
+			if m := g.Arg[i]; m < 0 || m >= int64(sends) {
+				return fmt.Errorf("analytic: recv op %d consumes message %d, only %d sent", i, g.Arg[i], sends)
+			}
+			if g.MsgDst[g.Arg[i]] != g.Rank[i] {
+				return fmt.Errorf("analytic: recv op %d by rank %d consumes message %d addressed to %d",
+					i, g.Rank[i], g.Arg[i], g.MsgDst[g.Arg[i]])
+			}
+			if recvs >= len(g.RecvFrom) {
+				return fmt.Errorf("analytic: recv op %d beyond the %d recorded patterns", i, len(g.RecvFrom))
+			}
+			// The reference matching must satisfy the recorded pattern, or
+			// the pattern arrays are misaligned with the operations.
+			if f := g.RecvFrom[recvs]; f >= 0 && f != g.MsgSrc[g.Arg[i]] {
+				return fmt.Errorf("analytic: recv op %d pattern from=%d but consumed message %d is from %d",
+					i, f, g.Arg[i], g.MsgSrc[g.Arg[i]])
+			}
+			if tg := g.RecvTag[recvs]; tg != anyTag && tg != g.MsgTag[g.Arg[i]] {
+				return fmt.Errorf("analytic: recv op %d pattern tag=%d but consumed message %d has tag %d",
+					i, tg, g.Arg[i], g.MsgTag[g.Arg[i]])
+			}
+			recvs++
+		}
+	}
+	if sends != len(g.MsgSrc) {
+		return fmt.Errorf("analytic: %d send ops for %d messages", sends, len(g.MsgSrc))
+	}
+	if recvs != len(g.RecvFrom) {
+		return fmt.Errorf("analytic: %d recv ops for %d patterns", recvs, len(g.RecvFrom))
+	}
+	if !paramsFinite(g.Ref) {
+		return fmt.Errorf("analytic: non-finite reference parameters")
+	}
+	return nil
+}
+
+func paramsFinite(p network.Params) bool {
+	return !math.IsNaN(p.IntraBandwidth) && !math.IsInf(p.IntraBandwidth, 0) &&
+		!math.IsNaN(p.WANBandwidth) && !math.IsInf(p.WANBandwidth, 0) &&
+		!math.IsNaN(p.WANMessageRTTFactor) && !math.IsInf(p.WANMessageRTTFactor, 0)
+}
+
+// MemoryBytes estimates the graph's in-memory footprint, for reporting.
+func (g *Graph) MemoryBytes() int64 {
+	return int64(len(g.Ops))*(1+4+8) + int64(len(g.MsgSrc))*(4+4+8+8) +
+		int64(len(g.RecvFrom))*(4+8+1) + int64(len(g.ClusterOf))*4
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+
+	"twolayer/internal/analytic"
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/stats"
+	"twolayer/internal/topology"
+)
+
+// Analytic mode: simulate once, answer many. Each variant is simulated a
+// single time at the reference network point with a dependency-graph
+// recorder attached; every other grid point is then answered by re-costing
+// the recorded graph's wide-area edges and replaying it (matched mode, see
+// analytic.Eval.SolveMatched) in microseconds instead of seconds. The
+// single-cluster baselines stay simulated (they have no wide-area edges to
+// re-cost and are shared with the simulated figures through the run
+// cache).
+
+// ReferenceWANLatency and ReferenceWANBandwidth place the recording point
+// at the grid center — also the golden point, so recording runs are
+// cross-checked by the determinism table.
+const (
+	ReferenceWANLatency   = 3300 * sim.Microsecond
+	ReferenceWANBandwidth = 0.95e6
+)
+
+// ReferenceParams is the network point analytic graphs are recorded at.
+func ReferenceParams() network.Params {
+	return network.DefaultParams().WithWAN(ReferenceWANLatency, ReferenceWANBandwidth)
+}
+
+// DefaultAnalyticTolerance is the default bound on the matched replay's
+// relative error at the reference point (the self-check; the frozen replay
+// must be exact there regardless).
+const DefaultAnalyticTolerance = 0.05
+
+// AnalyticReport is the per-variant health and sensitivity summary of an
+// analytic sweep.
+type AnalyticReport struct {
+	App       string
+	Optimized bool
+	// Nodes and Messages size the recorded graph.
+	Nodes, Messages int
+	// RefErrorPct is the matched replay's relative error against the
+	// simulated run at the reference point, in percent. The frozen replay
+	// is verified exact separately; this measures the dynamic matcher.
+	RefErrorPct float64
+	// Engine is the replay engine chosen for this variant's grid solves:
+	// "frozen" when the frozen replay tracked the matched replay within a
+	// third of the tolerance at every grid-corner probe (so the cheap
+	// incremental pass answers the grid), "matched" otherwise.
+	Engine string
+	// LatencySharePct and BandwidthSharePct decompose the reference-point
+	// completion time LLAMP-style: the percentage bought back by a
+	// zero-latency (resp. infinite-bandwidth) wide-area network.
+	LatencySharePct, BandwidthSharePct float64
+	// LatencyTolerance is the predicted relative speedup at each grid
+	// latency, at the reference bandwidth — the application's
+	// latency-tolerance curve.
+	LatencyTolerance []AnalyticTolerancePoint
+	// ToleratedLatency is the largest grid latency whose predicted
+	// relative speedup stays at or above 60% — the paper's informal "still
+	// runs well" criterion. Zero if none does.
+	ToleratedLatency sim.Time
+}
+
+// AnalyticTolerancePoint is one point of the latency-tolerance curve.
+type AnalyticTolerancePoint struct {
+	Latency sim.Time
+	RelPct  float64
+}
+
+// analyticProbes are two opposite wide-area corners of the grid: the
+// fastest network (low latency, full bandwidth) and the slowest (high
+// latency, starved bandwidth). A variant whose frozen replay tracks the
+// matched one within a third of the tolerance at both earns the cheap
+// frozen engine for its grid. The probes bound the drift at the corners,
+// not at every interior cell — the per-application differential tests and
+// the documented error table are the end-to-end accuracy contract.
+func analyticProbes() []network.Params {
+	lo, hi := Latencies[0], Latencies[len(Latencies)-1]
+	fast, slow := Bandwidths[0], Bandwidths[len(Bandwidths)-1]
+	return []network.Params{
+		network.DefaultParams().WithWAN(lo, fast),
+		network.DefaultParams().WithWAN(hi, slow),
+	}
+}
+
+// analyticEval records (or loads) the graph for one variant and prepares
+// its evaluator plus report skeleton. The exactness check runs on every
+// load: a cached graph that no longer replays to its recorded elapsed time
+// is corrupt (or the replay model drifted) and must not produce figures.
+func analyticEval(label string, x Experiment, pol *RunPolicy, cache *RunCache, tol float64) (*analytic.Eval, *CellFailure, AnalyticReport, error) {
+	rep := AnalyticReport{App: x.App.Name, Optimized: x.Optimized}
+	g, fail, err := cache.RecordedGraph(label, x, pol)
+	if err != nil || fail != nil {
+		return nil, fail, rep, err
+	}
+	ev := analytic.NewEval(g)
+	if got := ev.Solve(g.Ref); got != g.RefElapsed {
+		return nil, nil, rep, fmt.Errorf("core: %s: frozen replay at the reference gives %v, recorded %v — graph corrupt or replay model drifted",
+			label, got, g.RefElapsed)
+	}
+	rep.Nodes = g.Nodes()
+	rep.Messages = g.Messages()
+	refErr := relErrPct(ev.SolveMatched(g.Ref), g.RefElapsed)
+	rep.RefErrorPct = refErr
+	if tol <= 0 {
+		tol = DefaultAnalyticTolerance
+	}
+	if refErr > 100*tol {
+		return nil, nil, rep, fmt.Errorf("core: %s: matched replay at the reference off by %.2f%% (tolerance %.0f%%)",
+			label, refErr, 100*tol)
+	}
+	rep.Engine = "matched"
+	var s analytic.Sensitivity
+	if ev.FrozenAccurate(analyticProbes(), tol/3) {
+		rep.Engine = "frozen"
+		s = ev.Sensitivity(g.Ref)
+	} else {
+		s = ev.SensitivityMatched(g.Ref)
+	}
+	rep.LatencySharePct = 100 * s.LatencyShare()
+	rep.BandwidthSharePct = 100 * s.BandwidthShare()
+	return ev, nil, rep, nil
+}
+
+// analyticSolver returns the grid-solve function the report's calibration
+// chose: the incremental frozen pass, or the full matched replay.
+func analyticSolver(ev *analytic.Eval, rep AnalyticReport) func(network.Params) sim.Time {
+	if rep.Engine == "frozen" {
+		return ev.Solve
+	}
+	return ev.SolveMatched
+}
+
+func relErrPct(got, want sim.Time) float64 {
+	if want <= 0 {
+		return 0
+	}
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return 100 * d / float64(want)
+}
+
+// AnalyticPoint is the analytic answer for one network point.
+type AnalyticPoint struct {
+	// Elapsed is the predicted completion time at the asked point.
+	Elapsed sim.Time
+	// LatencySharePct and BandwidthSharePct decompose Elapsed at the asked
+	// point (not the reference), LLAMP-style.
+	LatencySharePct, BandwidthSharePct float64
+	// Report is the variant's recording health summary.
+	Report AnalyticReport
+}
+
+// SolveAnalytic answers a single network point from the variant's recorded
+// reference graph: x carries the asked point in Params; the recording run
+// itself always happens at ReferenceParams (Verify and Configure are
+// dropped — they cannot ride on a recording). A supervised kill of the one
+// recording run comes back as the CellFailure.
+func SolveAnalytic(label string, x Experiment, pol *RunPolicy, cache *RunCache, tol float64) (AnalyticPoint, *CellFailure, error) {
+	asked := x.Params
+	x.Params = ReferenceParams()
+	x.Verify = false
+	x.Configure = nil
+	ev, fail, rep, err := analyticEval(label, x, pol, cache, tol)
+	if err != nil || fail != nil {
+		return AnalyticPoint{Report: rep}, fail, err
+	}
+	var s analytic.Sensitivity
+	if rep.Engine == "frozen" {
+		s = ev.Sensitivity(asked)
+	} else {
+		s = ev.SensitivityMatched(asked)
+	}
+	return AnalyticPoint{
+		Elapsed:           s.Elapsed,
+		LatencySharePct:   100 * s.LatencyShare(),
+		BandwidthSharePct: 100 * s.BandwidthShare(),
+		Report:            rep,
+	}, nil, nil
+}
+
+// Figure3Analytic produces the paper's Figure 3 panels from one recorded
+// run per variant: record (or load) the reference graph, then solve every
+// latency/bandwidth cell analytically. Baselines are simulated through the
+// cache as usual. tol bounds the matched replay's reference self-check
+// (<= 0 means DefaultAnalyticTolerance). Alongside the panels it returns
+// one AnalyticReport per variant.
+func Figure3Analytic(scale apps.Scale, opts Figure3Options, tol float64) ([]Figure3Panel, []AnalyticReport, error) {
+	lats := opts.Latencies
+	if lats == nil {
+		lats = Latencies
+	}
+	bws := opts.Bandwidths
+	if bws == nil {
+		bws = Bandwidths
+	}
+	topo := opts.Topo
+	if topo == nil {
+		topo = topology.DAS()
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = DefaultCache
+	}
+
+	type variant struct {
+		app apps.Info
+		opt bool
+	}
+	var variants []variant
+	for _, a := range Apps() {
+		if len(opts.Apps) > 0 && !nameIn(opts.Apps, a.Name) {
+			continue
+		}
+		variants = append(variants, variant{a, false})
+		if a.HasOptimized {
+			variants = append(variants, variant{a, true})
+		}
+	}
+
+	base := NewBaselinesCached(scale, cache)
+	panels := make([]Figure3Panel, len(variants))
+	reports := make([]AnalyticReport, len(variants))
+	graphs := make([]*analytic.Graph, len(variants))
+	baselines := make([]sim.Time, len(variants))
+
+	// Phase 1: one recording (or cache load) per variant, plus its simulated
+	// single-cluster baseline and health self-check.
+	err := forEachWeighted(len(variants), nil,
+		func(v int) string {
+			return fmt.Sprintf("%s (%s) analytic reference", variants[v].app.Name, variantName(variants[v].opt))
+		},
+		func(v int) error {
+			va := variants[v]
+			label := fmt.Sprintf("%s (%s) analytic reference", va.app.Name, variantName(va.opt))
+			p := Figure3Panel{
+				App: va.app.Name, Optimized: va.opt,
+				Latencies: lats, Bandwidths: bws,
+				Rel: make([][]float64, len(lats)),
+			}
+			for i := range lats {
+				p.Rel[i] = make([]float64, len(bws))
+			}
+			ev, fail, rep, err := analyticEval(label, Experiment{
+				App: va.app, Scale: scale, Optimized: va.opt, Topo: topo,
+				Params: ReferenceParams(),
+			}, opts.Policy, cache, tol)
+			if err != nil {
+				return err
+			}
+			tl, err := base.SingleCluster(va.app, topo.Procs())
+			if err != nil {
+				return err
+			}
+			baselines[v] = tl
+			if fail != nil {
+				// The one recording run failed, so every cell of this
+				// variant's panel is unanswerable.
+				p.Failed = make([][]string, len(lats))
+				for i := range lats {
+					p.Failed[i] = make([]string, len(bws))
+					for j := range bws {
+						p.Failed[i][j] = fail.Kind
+					}
+				}
+				panels[v], reports[v] = p, rep
+				return nil
+			}
+			graphs[v] = ev.Graph()
+			panels[v], reports[v] = p, rep
+			return nil
+		})
+	if err != nil {
+		return panels, reports, err
+	}
+
+	// Phase 2: solve the grid. The graph is read-only, so each task gets a
+	// private evaluator and the cells spread across the pool like simulated
+	// cells would — one task per panel row, plus one per variant for the
+	// latency-tolerance curve (row -1). Within a variant, rows and curve
+	// write disjoint state.
+	type solveTask struct{ v, row int }
+	var tasks []solveTask
+	for v := range variants {
+		if graphs[v] == nil {
+			continue
+		}
+		for i := range lats {
+			tasks = append(tasks, solveTask{v, i})
+		}
+		tasks = append(tasks, solveTask{v, -1})
+	}
+	err = forEachWeighted(len(tasks),
+		func(k int) float64 { return float64(graphs[tasks[k].v].Nodes()) },
+		func(k int) string {
+			t := tasks[k]
+			return fmt.Sprintf("%s (%s) analytic solve", variants[t.v].app.Name, variantName(variants[t.v].opt))
+		},
+		func(k int) error {
+			t := tasks[k]
+			ev := analytic.NewEval(graphs[t.v])
+			solve := analyticSolver(ev, reports[t.v])
+			tl := baselines[t.v]
+			if t.row < 0 {
+				rep := &reports[t.v]
+				for _, lat := range Latencies {
+					pred := solve(network.DefaultParams().WithWAN(lat, ReferenceWANBandwidth))
+					rel := RelativeSpeedup(tl, pred)
+					rep.LatencyTolerance = append(rep.LatencyTolerance, AnalyticTolerancePoint{Latency: lat, RelPct: rel})
+					if rel >= 60 {
+						rep.ToleratedLatency = lat
+					}
+				}
+				return nil
+			}
+			for j, bw := range bws {
+				pred := solve(network.DefaultParams().WithWAN(lats[t.row], bw))
+				panels[t.v].Rel[t.row][j] = RelativeSpeedup(tl, pred)
+			}
+			return nil
+		})
+	return panels, reports, err
+}
+
+// Figure4AnalyticBandwidth is Figure4Bandwidth answered analytically from
+// the per-application reference graphs (best variant of each application,
+// as in the simulated figure).
+func Figure4AnalyticBandwidth(scale apps.Scale, pol *RunPolicy, tol float64) ([]Figure4Curve, error) {
+	return figure4Analytic(scale, true, pol, tol)
+}
+
+// Figure4AnalyticLatency is Figure4Latency answered analytically.
+func Figure4AnalyticLatency(scale apps.Scale, pol *RunPolicy, tol float64) ([]Figure4Curve, error) {
+	return figure4Analytic(scale, false, pol, tol)
+}
+
+func figure4Analytic(scale apps.Scale, byBandwidth bool, pol *RunPolicy, tol float64) ([]Figure4Curve, error) {
+	const fixedLatency = 3300 * sim.Microsecond
+	const fixedBandwidth = 0.9e6
+	base := NewBaselines(scale)
+	suite := Apps()
+	curves := make([]Figure4Curve, len(suite))
+	err := forEachWeighted(len(suite), nil,
+		func(i int) string { return fmt.Sprintf("%s analytic figure4 curve", suite[i].Name) },
+		func(i int) error {
+			app := suite[i]
+			label := fmt.Sprintf("%s (%s) analytic reference", app.Name, variantName(app.HasOptimized))
+			ev, fail, rep, err := analyticEval(label, Experiment{
+				App: app, Scale: scale, Optimized: app.HasOptimized,
+				Topo: topology.DAS(), Params: ReferenceParams(),
+			}, pol, DefaultCache, tol)
+			if err != nil {
+				return err
+			}
+			solve := analyticSolver(ev, rep)
+			tl, err := base.SingleCluster(app, topology.DAS().Procs())
+			if err != nil {
+				return err
+			}
+			curve := Figure4Curve{App: app.Name, Optimized: app.HasOptimized}
+			var xs []float64
+			if byBandwidth {
+				xs = Bandwidths
+			} else {
+				for _, l := range Latencies {
+					xs = append(xs, l.Milliseconds())
+				}
+			}
+			anyFailed := false
+			for k, x := range xs {
+				params := network.DefaultParams()
+				if byBandwidth {
+					params = params.WithWAN(fixedLatency, x)
+				} else {
+					params = params.WithWAN(Latencies[k], fixedBandwidth)
+				}
+				curve.X = append(curve.X, x)
+				if fail != nil {
+					anyFailed = true
+					curve.CommPct = append(curve.CommPct, 0)
+					curve.Failed = append(curve.Failed, fail.Kind)
+					continue
+				}
+				curve.CommPct = append(curve.CommPct, CommTimePercent(tl, solve(params)))
+				curve.Failed = append(curve.Failed, "")
+			}
+			if !anyFailed {
+				curve.Failed = nil
+			}
+			curves[i] = curve
+			return nil
+		})
+	return curves, err
+}
+
+// ClusterShapeStudyAnalytic is ClusterShapeStudy answered analytically:
+// one recording per (application, shape) at the reference point, then an
+// analytic solve at the asked wide-area setting.
+func ClusterShapeStudyAnalytic(scale apps.Scale, appNames []string, wanLatency sim.Time, wanBandwidth float64, pol *RunPolicy, tol float64) ([]ShapeResult, error) {
+	base := NewBaselines(scale)
+	shapes := DefaultShapes()
+	var suite []apps.Info
+	for _, n := range appNames {
+		a, err := AppByName(n)
+		if err != nil {
+			return nil, err
+		}
+		suite = append(suite, a)
+	}
+	type cellKey struct{ app, shape int }
+	var cells []cellKey
+	for a := range suite {
+		for s := range shapes {
+			cells = append(cells, cellKey{a, s})
+		}
+		if _, err := base.SingleCluster(suite[a], 32); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]ShapeResult, len(cells))
+	label := func(k int) string {
+		c := cells[k]
+		return fmt.Sprintf("%s shape=%s analytic reference", suite[c.app].Name, shapes[c.shape])
+	}
+	err := forEachWeighted(len(cells), nil, label, func(k int) error {
+		c := cells[k]
+		app, topo := suite[c.app], shapes[c.shape]
+		ev, fail, rep, err := analyticEval(label(k), Experiment{
+			App: app, Scale: scale, Optimized: app.HasOptimized, Topo: topo,
+			Params: ReferenceParams(),
+		}, pol, DefaultCache, tol)
+		if err != nil {
+			return err
+		}
+		if fail != nil {
+			results[k] = ShapeResult{
+				App: app.Name, Shape: topo.String(),
+				Clusters: topo.Clusters(), Failed: fail.Kind,
+			}
+			return nil
+		}
+		tl, err := base.SingleCluster(app, 32)
+		if err != nil {
+			return err
+		}
+		pred := analyticSolver(ev, rep)(network.DefaultParams().WithWAN(wanLatency, wanBandwidth))
+		results[k] = ShapeResult{
+			App:      app.Name,
+			Shape:    topo.String(),
+			Clusters: topo.Clusters(),
+			Elapsed:  pred,
+			RelPct:   RelativeSpeedup(tl, pred),
+		}
+		return nil
+	})
+	return results, err
+}
+
+// RenderAnalyticReports formats the per-variant analytic summaries.
+func RenderAnalyticReports(reports []AnalyticReport) string {
+	t := stats.NewTable("Program", "Variant", "Graph nodes", "Messages",
+		"Engine", "Ref error", "Latency share", "Bandwidth share", "Tolerated latency")
+	for _, r := range reports {
+		tolerated := "none"
+		if r.ToleratedLatency > 0 {
+			tolerated = r.ToleratedLatency.String()
+		}
+		t.AddRow(r.App, variantName(r.Optimized),
+			fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%d", r.Messages),
+			r.Engine,
+			fmt.Sprintf("%.2f%%", r.RefErrorPct),
+			fmt.Sprintf("%.1f%%", r.LatencySharePct),
+			fmt.Sprintf("%.1f%%", r.BandwidthSharePct),
+			tolerated)
+	}
+	return t.String()
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"twolayer/internal/analytic"
+	"twolayer/internal/apps"
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+	"twolayer/internal/topology"
+)
+
+// TestAnalyticExactAtReference pins the analytic engine's anchor property:
+// replaying a recorded graph at its own reference point reproduces the
+// simulated completion time bit for bit, for every golden variant. Any
+// difference means the replay model has drifted from the simulator's cost
+// model — a correctness bug, not a tolerance issue.
+func TestAnalyticExactAtReference(t *testing.T) {
+	for _, g := range GoldenRuns {
+		g := g
+		t.Run(goldenName(g), func(t *testing.T) {
+			t.Parallel()
+			x := goldenExperiment(t, g)
+			rec := analytic.NewRecorder(x.Topo, x.Params)
+			x.Trace = rec
+			res, err := x.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			graph, err := rec.Finish(res.Elapsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := analytic.NewEval(graph)
+			if got := ev.Solve(x.Params); got != res.Elapsed {
+				t.Errorf("Solve(ref) = %d, simulated %d (drift %+d)", got, res.Elapsed, got-res.Elapsed)
+			}
+			// A second solve exercises the incremental path (same LAN
+			// parameters, snapshot restored) and must agree exactly.
+			if got := ev.Solve(x.Params); got != res.Elapsed {
+				t.Errorf("incremental Solve(ref) = %d, simulated %d", got, res.Elapsed)
+			}
+			if s := ev.Stats(); s.IncrementalSolves != 1 {
+				t.Errorf("second solve did not take the incremental path: %+v", s)
+			}
+		})
+	}
+}
+
+// benchGraph records one Small-scale graph for the solver benchmarks.
+func benchGraph(b *testing.B, name string, optimized bool) *analytic.Graph {
+	b.Helper()
+	app, err := AppByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := Experiment{
+		App: app, Scale: apps.Small, Optimized: optimized,
+		Topo: topology.DAS(), Params: ReferenceParams(),
+	}
+	rec := analytic.NewRecorder(x.Topo, x.Params)
+	x.Trace = rec
+	res, err := x.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := rec.Finish(res.Elapsed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkAnalyticSolveFrozen(b *testing.B) {
+	ev := analytic.NewEval(benchGraph(b, "Awari", false))
+	p := network.DefaultParams().WithWAN(30*sim.Millisecond, 0.3e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Solve(p)
+	}
+}
+
+func BenchmarkAnalyticSolveMatched(b *testing.B) {
+	ev := analytic.NewEval(benchGraph(b, "Awari", false))
+	p := network.DefaultParams().WithWAN(30*sim.Millisecond, 0.3e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.SolveMatched(p)
+	}
+}
+
+func goldenName(g GoldenRun) string {
+	if g.Optimized {
+		return g.App + "/opt"
+	}
+	return g.App + "/unopt"
+}
+
+// TestGoldenUnperturbedByRecorder proves recording is a pure observer: a
+// golden run with the dependency-graph recorder attached must reproduce
+// every golden value bit for bit. Any drift means the recorder perturbed
+// the simulation (e.g. by forcing a different engine schedule).
+func TestGoldenUnperturbedByRecorder(t *testing.T) {
+	for _, g := range GoldenRuns {
+		g := g
+		t.Run(goldenName(g), func(t *testing.T) {
+			t.Parallel()
+			x := goldenExperiment(t, g)
+			rec := analytic.NewRecorder(x.Topo, x.Params)
+			x.Trace = rec
+			res, err := x.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Elapsed != g.Elapsed {
+				t.Errorf("Elapsed = %d, golden %d", res.Elapsed, g.Elapsed)
+			}
+			if res.Events != g.Events {
+				t.Errorf("Events = %d, golden %d", res.Events, g.Events)
+			}
+			if res.WAN.Messages != g.WANMsgs {
+				t.Errorf("WAN.Messages = %d, golden %d", res.WAN.Messages, g.WANMsgs)
+			}
+			if res.WAN.Bytes != g.WANBytes {
+				t.Errorf("WAN.Bytes = %d, golden %d", res.WAN.Bytes, g.WANBytes)
+			}
+			if _, err := rec.Finish(res.Elapsed); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRecorderWorkersSameGraph pins the recorded graph against the worker
+// count: a recording with the cluster-parallel engine requested must be
+// byte-identical to a sequential one (a Trace sink forces the sequential
+// engine precisely so that record order is the canonical execution order).
+func TestRecorderWorkersSameGraph(t *testing.T) {
+	record := func(t *testing.T, g GoldenRun, workers int) []byte {
+		t.Helper()
+		x := goldenExperiment(t, g)
+		x.Workers = workers
+		rec := analytic.NewRecorder(x.Topo, x.Params)
+		x.Trace = rec
+		res, err := x.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		graph, err := rec.Finish(res.Elapsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := graph.EncodeBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, g := range GoldenRuns {
+		g := g
+		if g.App != "Awari" && g.App != "Barnes-Hut" {
+			continue // two apps with heavy wide-area traffic suffice
+		}
+		t.Run(goldenName(g), func(t *testing.T) {
+			t.Parallel()
+			seq := record(t, g, -1)
+			par := record(t, g, 4)
+			if !bytes.Equal(seq, par) {
+				t.Errorf("graphs differ between sequential and Workers=4 recordings (%d vs %d bytes)",
+					len(seq), len(par))
+			}
+		})
+	}
+}
+
+// TestRecordedGraphCacheWarm exercises the content-addressed graph layer
+// of the run cache: the first request records by simulating, a repeat is
+// served from memory, and after a Reset (fresh process in miniature) the
+// persistent layer answers without any new simulation.
+func TestRecordedGraphCacheWarm(t *testing.T) {
+	cache := NewRunCache()
+	if err := cache.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	app, err := AppByName("Awari")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Experiment{
+		App: app, Scale: apps.Tiny, Optimized: false,
+		Topo: topology.DAS(), Params: ReferenceParams(),
+	}
+	first, fail, err := cache.RecordedGraph("warm-cache test", x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("recording failed: %+v", fail)
+	}
+	if s := cache.CacheStats(); s.GraphMisses != 1 {
+		t.Fatalf("first request did not record: %+v", s)
+	}
+	if _, _, err := cache.RecordedGraph("warm-cache test", x, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.CacheStats(); s.GraphHits != 1 {
+		t.Errorf("repeat request missed memory: %+v", s)
+	}
+	cache.Reset()
+	warm, fail, err := cache.RecordedGraph("warm-cache test", x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("warm load failed: %+v", fail)
+	}
+	s := cache.CacheStats()
+	if s.GraphDiskHits != 1 || s.GraphMisses != 0 || s.Misses != 0 {
+		t.Errorf("warm rerun re-simulated instead of loading from disk: %+v", s)
+	}
+	if !reflect.DeepEqual(first, warm) {
+		t.Error("disk-loaded graph differs from the recorded one")
+	}
+}
+
+// analyticErrBounds caps each variant's analytic-vs-simulated relative
+// error (percent) across the Small wide-area grid, with headroom over the
+// measured maxima (see EXPERIMENTS.md for the measured table). TSP/unopt
+// is the documented outlier: its adaptive branch-and-bound pruning
+// genuinely depends on message timings — on a slower network the real run
+// receives better bounds before expanding work the recorded run performed,
+// so the replay over-predicts badly at the slowest corner (273% measured).
+// The bound only keeps the qualitative order of magnitude honest there.
+var analyticErrBounds = map[string]float64{
+	"Water/unopt":      15,
+	"Water/opt":        3,
+	"Barnes-Hut/unopt": 1,
+	"Barnes-Hut/opt":   2,
+	"TSP/unopt":        350,
+	"TSP/opt":          10,
+	"ASP/unopt":        25,
+	"ASP/opt":          1,
+	"Awari/unopt":      1,
+	"Awari/opt":        1,
+	"FFT/unopt":        5,
+}
+
+// TestAnalyticDifferential compares the analytic engine against the real
+// simulator at Small scale for every variant, using the production engine
+// selection (probe-validated frozen vs matched replay). By default it
+// samples the reference, both probe corners, and two interior cells;
+// TWOLAYER_FULL_DIFF=1 sweeps the entire latency×bandwidth grid.
+func TestAnalyticDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential validation simulates Small-scale runs; run without -short")
+	}
+	var points []network.Params
+	if os.Getenv("TWOLAYER_FULL_DIFF") != "" {
+		for _, lat := range Latencies {
+			for _, bw := range Bandwidths {
+				points = append(points, network.DefaultParams().WithWAN(lat, bw))
+			}
+		}
+	} else {
+		points = append(points, ReferenceParams())
+		points = append(points, analyticProbes()...)
+		points = append(points,
+			network.DefaultParams().WithWAN(10*sim.Millisecond, 0.3e6),
+			network.DefaultParams().WithWAN(100*sim.Millisecond, 0.95e6))
+	}
+	for _, g := range GoldenRuns {
+		g := g
+		t.Run(goldenName(g), func(t *testing.T) {
+			t.Parallel()
+			bound, ok := analyticErrBounds[goldenName(g)]
+			if !ok {
+				t.Fatalf("no error bound for %s — add it to analyticErrBounds", goldenName(g))
+			}
+			app, err := AppByName(g.App)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := Experiment{
+				App: app, Scale: apps.Small, Optimized: g.Optimized,
+				Topo: topology.DAS(), Params: ReferenceParams(),
+			}
+			ev, fail, rep, err := analyticEval(goldenName(g)+" differential", x, nil, NewRunCache(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fail != nil {
+				t.Fatalf("recording failed: %+v", fail)
+			}
+			solve := analyticSolver(ev, rep)
+			worst := 0.0
+			for _, p := range points {
+				sx := x
+				sx.Params = p
+				res, err := sx.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pred := solve(p)
+				e := relErrPct(pred, res.Elapsed)
+				if e > worst {
+					worst = e
+				}
+				if e > bound {
+					t.Errorf("at WAN %v / %.3g B/s: analytic %d vs simulated %d (%.2f%% > %.0f%% bound, engine %s)",
+						p.WANLatency, p.WANBandwidth, pred, res.Elapsed, e, bound, rep.Engine)
+				}
+			}
+			t.Logf("engine %s, worst error %.2f%% over %d points (bound %.0f%%)",
+				rep.Engine, worst, len(points), bound)
+		})
+	}
+}

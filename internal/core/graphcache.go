@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+
+	"twolayer/internal/analytic"
+	"twolayer/internal/par"
+)
+
+// The recorded-graph layer of RunCache: dependency graphs captured at the
+// analytic reference point, memoized in memory and — when a directory is
+// attached — content-addressed on disk next to the run entries. A graph is
+// fully determined by the same RunKey as the reference run it was recorded
+// from, so the key, hashing and fingerprint gating are shared with the
+// result layer; graph files just use a distinct .graph.json suffix. Like
+// the result layer, all disk failures fail open (re-record, never error)
+// and writes are atomic.
+
+// graphEntry is the singleflight slot for one recorded graph. A recording
+// that the policy gave up on memoizes its CellFailure so every requester
+// shares the outcome instead of re-running a doomed simulation.
+type graphEntry struct {
+	done chan struct{}
+	g    *analytic.Graph
+	fail *CellFailure
+	err  error
+}
+
+// diskGraphEntry is the JSON envelope of one on-disk graph: the shared
+// fingerprint and full key (so foreign builds and hash collisions degrade
+// to a miss), and the graph in its binary encoding (base64 under JSON).
+type diskGraphEntry struct {
+	Fingerprint string
+	Key         RunKey
+	Graph       []byte
+}
+
+func graphPath(dir string, key RunKey) string {
+	return filepath.Join(dir, keyHash(key)+".graph.json")
+}
+
+// loadGraphDisk looks key up in dir; stale reports a present-but-unusable
+// file that should be overwritten.
+func loadGraphDisk(dir string, key RunKey) (g *analytic.Graph, ok, stale bool) {
+	data, err := os.ReadFile(graphPath(dir, key))
+	if err != nil {
+		return nil, false, false
+	}
+	var e diskGraphEntry
+	if json.Unmarshal(data, &e) != nil || e.Fingerprint != Fingerprint() || e.Key != key {
+		return nil, false, true
+	}
+	g, err = analytic.DecodeBinary(bytes.NewReader(e.Graph))
+	if err != nil {
+		return nil, false, true
+	}
+	return g, true, false
+}
+
+// storeGraphDisk writes the graph for key atomically; errors are dropped
+// (the cache fails open).
+func storeGraphDisk(dir string, key RunKey, g *analytic.Graph) {
+	var buf bytes.Buffer
+	if g.EncodeBinary(&buf) != nil {
+		return
+	}
+	data, err := json.Marshal(diskGraphEntry{
+		Fingerprint: Fingerprint(), Key: key, Graph: buf.Bytes(),
+	})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "graph-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if tmp.Close() != nil {
+		os.Remove(name)
+		return
+	}
+	if os.Rename(name, graphPath(dir, key)) != nil {
+		os.Remove(name)
+	}
+}
+
+// RecordedGraph returns the dependency graph of experiment x recorded at
+// its configured network point, recording it with a simulated run only on
+// the first request per key (concurrent requesters share the recording,
+// reruns in a new process replay it from disk). The run executes under pol
+// like any sweep cell — budgets, deadline, retries — and a supervised kill
+// comes back as a *CellFailure, shared by all requesters of the key. x
+// must not carry a Trace of its own.
+func (c *RunCache) RecordedGraph(label string, x Experiment, pol *RunPolicy) (*analytic.Graph, *CellFailure, error) {
+	if x.Trace != nil {
+		return nil, nil, errors.New("core: RecordedGraph on an experiment with a Trace attached")
+	}
+	key := x.Key()
+	c.mu.Lock()
+	if e, ok := c.graphs[key]; ok {
+		c.mu.Unlock()
+		c.ghits.Add(1)
+		<-e.done
+		return e.g, e.fail, e.err
+	}
+	e := &graphEntry{done: make(chan struct{})}
+	c.graphs[key] = e
+	dir := c.dir
+	c.mu.Unlock()
+	defer close(e.done)
+	if dir != "" {
+		g, ok, stale := loadGraphDisk(dir, key)
+		if stale {
+			c.stale.Add(1)
+		}
+		if ok {
+			c.gdisk.Add(1)
+			e.g = g
+			return e.g, nil, nil
+		}
+	}
+	c.gmisses.Add(1)
+	rec := analytic.NewRecorder(x.Topo, x.Params)
+	x.Trace = rec
+	var res par.Result
+	res, e.fail, e.err = pol.run(label, x, c)
+	if e.err != nil || e.fail != nil {
+		return nil, e.fail, e.err
+	}
+	e.g, e.err = rec.Finish(res.Elapsed)
+	if e.err != nil {
+		return nil, nil, e.err
+	}
+	if dir != "" {
+		storeGraphDisk(dir, key, e.g)
+	}
+	return e.g, nil, nil
+}

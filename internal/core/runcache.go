@@ -54,16 +54,23 @@ type runEntry struct {
 type RunCache struct {
 	mu      sync.Mutex
 	entries map[RunKey]*runEntry
-	dir     string // persistent layer root; "" = memory only
+	graphs  map[RunKey]*graphEntry // recorded dependency graphs (graphcache.go)
+	dir     string                 // persistent layer root; "" = memory only
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 	disk    atomic.Uint64
 	stale   atomic.Uint64
+	ghits   atomic.Uint64
+	gmisses atomic.Uint64
+	gdisk   atomic.Uint64
 }
 
 // NewRunCache returns an empty cache.
 func NewRunCache() *RunCache {
-	return &RunCache{entries: make(map[RunKey]*runEntry)}
+	return &RunCache{
+		entries: make(map[RunKey]*runEntry),
+		graphs:  make(map[RunKey]*graphEntry),
+	}
 }
 
 // DefaultCache is the process-wide cache the sweep entry points use unless
@@ -88,15 +95,25 @@ type CacheStats struct {
 	// body, foreign code fingerprint, or filename collision); each was
 	// recomputed and overwritten.
 	Stale uint64
+	// GraphHits, GraphDiskHits and GraphMisses are the recorded-graph
+	// layer's counters: served from memory, replayed from disk, and
+	// recorded by simulating at the reference point. Unusable graph files
+	// count into Stale.
+	GraphHits     uint64
+	GraphDiskHits uint64
+	GraphMisses   uint64
 }
 
 // CacheStats returns all counters at once.
 func (c *RunCache) CacheStats() CacheStats {
 	return CacheStats{
-		Hits:     c.hits.Load(),
-		DiskHits: c.disk.Load(),
-		Misses:   c.misses.Load(),
-		Stale:    c.stale.Load(),
+		Hits:          c.hits.Load(),
+		DiskHits:      c.disk.Load(),
+		Misses:        c.misses.Load(),
+		Stale:         c.stale.Load(),
+		GraphHits:     c.ghits.Load(),
+		GraphDiskHits: c.gdisk.Load(),
+		GraphMisses:   c.gmisses.Load(),
 	}
 }
 
@@ -134,11 +151,15 @@ func (c *RunCache) Len() int {
 func (c *RunCache) Reset() {
 	c.mu.Lock()
 	c.entries = make(map[RunKey]*runEntry)
+	c.graphs = make(map[RunKey]*graphEntry)
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.disk.Store(0)
 	c.stale.Store(0)
+	c.ghits.Store(0)
+	c.gmisses.Store(0)
+	c.gdisk.Store(0)
 }
 
 // forget drops the memoized entry for key, if any. The supervision layer

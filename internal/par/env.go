@@ -108,6 +108,19 @@ func (e *Env) Send(dst int, tag Tag, data any, bytes int64) {
 	}
 	e.sends++
 	m := Msg{From: e.rank, Tag: tag, Data: data, Bytes: bytes}
+	if e.rt.rec != nil {
+		// Stamp the message with its global send index so the receive hooks
+		// can name it. The network observer fires synchronously inside the
+		// send below, exactly once per Env.Send (the recorder refuses runs
+		// where that would not hold), so this counter stays in lockstep with
+		// the recorder's RecordMessage stream.
+		m.seq = e.rt.recSeq + 1
+		e.rt.recSeq++
+		// The network observer reports only wire-level fields; hand the
+		// recorder the application tag ahead of the RecordMessage it will
+		// receive synchronously inside the send below.
+		e.rt.rec.RecordSendTag(int64(tag))
+	}
 	if e.rt.rel != nil && !e.rt.topo.SameCluster(e.rank, dst) {
 		// Wide-area traffic under fault injection goes through the reliable
 		// channel; relSend may block while the go-back-N window is full.
@@ -141,19 +154,35 @@ func (e *Env) Send(dst int, tag Tag, data any, bytes int64) {
 	e.p.Compute(e.sh.net.Params().SendOverhead)
 }
 
+// recorded reports a consumed message and the receive pattern that matched
+// it to the attached op-level recorder, if any. The no-recorder path is a
+// single nil check.
+func (e *Env) recorded(m Msg, from int, tag Tag, poll bool) Msg {
+	if e.rt.rec != nil && m.seq > 0 {
+		e.rt.rec.RecordRecv(e.rank, m.seq-1, from, int64(tag), poll)
+	}
+	return m
+}
+
 // Recv blocks until a message with the given tag arrives (from anyone) and
 // returns it.
 func (e *Env) Recv(tag Tag) Msg {
-	return e.mb.recv(e.p, AnySender, tag)
+	return e.recorded(e.mb.recv(e.p, AnySender, tag), AnySender, tag, false)
 }
 
 // RecvFrom blocks until a message with the given tag arrives from rank from.
 func (e *Env) RecvFrom(from int, tag Tag) Msg {
-	return e.mb.recv(e.p, from, tag)
+	return e.recorded(e.mb.recv(e.p, from, tag), from, tag, false)
 }
 
 // TryRecv returns a queued matching message without blocking.
-func (e *Env) TryRecv(from int, tag Tag) (Msg, bool) { return e.mb.take(from, tag) }
+func (e *Env) TryRecv(from int, tag Tag) (Msg, bool) {
+	m, ok := e.mb.take(from, tag)
+	if ok {
+		m = e.recorded(m, from, tag, true)
+	}
+	return m, ok
+}
 
 // Pending reports the number of undelivered messages in this rank's mailbox.
 func (e *Env) Pending() int { return e.mb.pending() }

@@ -15,6 +15,12 @@ type Msg struct {
 	Tag   Tag
 	Data  any
 	Bytes int64
+
+	// seq is 1 + the message's global send index, stamped only when an
+	// op-level recorder (trace.OpSink) is attached so receives can report
+	// which message they consumed. Zero — every run without a recorder —
+	// means "not recorded".
+	seq int64
 }
 
 // Tag distinguishes message streams; receives match on it. AnyTag and

@@ -22,6 +22,8 @@ type runtime struct {
 	topo   *topology.Topology
 	envs   []*Env
 	tracer trace.Sink
+	rec    trace.OpSink // op-level recorder when Options.Trace implements it
+	recSeq int64        // global send counter feeding Msg.seq stamps
 	seed   int64
 	rel    *relConfig // nil unless the reliable transport is active
 
@@ -115,6 +117,21 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 		return Result{}, fmt.Errorf("par: invalid fault parameters: %w", err)
 	}
 	rt := &runtime{topo: topo, tracer: opts.Trace, seed: opts.Seed}
+	if rec, ok := opts.Trace.(trace.OpSink); ok {
+		// Op-level recording relies on every Env.Send producing exactly one
+		// observer callback, in send-call order, with uniform link speeds.
+		// Fault injection and the reliable transport multiply or drop
+		// messages; Configure may install per-pair speeds or variability the
+		// replay model cannot see. Refuse rather than record a graph whose
+		// replay would silently diverge.
+		if opts.Faults.Enabled() || opts.Transport.Enabled {
+			return Result{}, errors.New("par: op-level recording requires a fault-free run without the reliable transport")
+		}
+		if opts.Configure != nil {
+			return Result{}, errors.New("par: op-level recording cannot observe Configure network extensions")
+		}
+		rt.rec = rec
+	}
 	if opts.Faults.Enabled() || opts.Transport.Enabled {
 		rt.rel = &relConfig{
 			Transport: opts.Transport.withDefaults(),
