@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-runpath bench-pdes bench-analytic chaos chaos-resume
+.PHONY: build test vet race check bench bench-runpath bench-pdes bench-analytic bench-topo chaos chaos-resume
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ bench-pdes:
 # cost and prediction error.
 bench-analytic:
 	$(GO) run ./cmd/bench -analytic -o results/BENCH_analytic.json -repeat 5
+
+# bench-topo regenerates results/BENCH_topo.json: simulator throughput and
+# peak heap as the cluster count scales 16 -> 256, on the paper's clique
+# versus a 2D torus routed hop-by-hop through the wide-area graph.
+bench-topo:
+	$(GO) run ./cmd/bench -topo -o results/BENCH_topo.json -repeat 5
 
 # chaos regenerates results/chaos.csv: the fault-injection sensitivity
 # sweep at paper scale (deterministic; reruns hit the run cache). An

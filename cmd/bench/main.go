@@ -1,5 +1,5 @@
 // Command bench measures the simulator's hot paths and writes the numbers
-// as JSON for tracking across revisions. It has six modes:
+// as JSON for tracking across revisions. It has seven modes:
 //
 //	bench                  # simulator kernel: event loop, handoffs, full run
 //	bench -apps            # application compute kernels (ns per force pair,
@@ -11,6 +11,8 @@
 //	                       # in-run workers on the cold paper-scale suite
 //	bench -analytic        # analytic engine: cold simulated Small Figure 3
 //	                       # vs record-once-solve-many, with error stats
+//	bench -topo            # wide-area graph scaling: events/sec and peak
+//	                       # heap at 16/64/256 clusters, clique vs 2D torus
 //
 // Example:
 //
@@ -318,6 +320,7 @@ func main() {
 		figMode     = flag.Bool("figures", false, "benchmark cold vs disk-cached Figure 3 regeneration instead")
 		pdesMode    = flag.Bool("pdes", false, "benchmark the cluster-parallel engine (sequential vs 2/4/8 workers, cold paper-scale suite) instead")
 		anMode      = flag.Bool("analytic", false, "benchmark the analytic engine (Small Figure 3: simulated vs record-once-solve-many) instead")
+		topoMode    = flag.Bool("topo", false, "benchmark wide-area graph scaling (16/64/256 clusters, clique vs torus) instead")
 		prev        = flag.Float64("prev", 53.9, "previous revision's cold Figure 3 seconds (-figures baseline)")
 	)
 	flag.Parse()
@@ -338,18 +341,38 @@ func main() {
 		os.Exit(2)
 	}
 	modes := 0
-	for _, on := range []bool{*appsMode, *runpathMode, *figMode, *pdesMode, *anMode} {
+	for _, on := range []bool{*appsMode, *runpathMode, *figMode, *pdesMode, *anMode, *topoMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "bench: -apps, -runpath, -figures, -pdes and -analytic are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "bench: -apps, -runpath, -figures, -pdes, -analytic and -topo are mutually exclusive")
 		os.Exit(2)
 	}
-	if (*figMode || *pdesMode || *anMode) && *only != "" {
-		fmt.Fprintln(os.Stderr, "bench: -only does not apply to -figures, -pdes or -analytic")
+	if (*figMode || *pdesMode || *anMode || *topoMode) && *only != "" {
+		fmt.Fprintln(os.Stderr, "bench: -only does not apply to -figures, -pdes, -analytic or -topo")
 		os.Exit(2)
+	}
+
+	if *topoMode {
+		if *out == "" {
+			*out = "results/BENCH_topo.json"
+		}
+		rep, err := benchTopo(*repeat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		for _, p := range rep.Points {
+			fmt.Fprintf(os.Stderr, "%4d clusters  %-12s %8d events  %12.0f events/sec  %7.1f MB peak\n",
+				p.Clusters, p.Topology, p.Events, p.EventsPerSec, p.PeakHeapMB)
+		}
+		if err := writeOut(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *anMode {

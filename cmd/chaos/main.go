@@ -60,6 +60,7 @@ func run() int {
 	)
 	sup := cliutil.RegisterSupervision("")
 	workers := cliutil.RegisterWorkers()
+	wanSpec := cliutil.RegisterWANTopology()
 	flag.Parse()
 	if err := cliutil.ApplyWorkers(*workers); err != nil {
 		return usage(err)
@@ -99,6 +100,10 @@ func run() int {
 	if err != nil {
 		return usage(err)
 	}
+	wan, err := cliutil.ParseWANTopology(*wanSpec, *clusters)
+	if err != nil {
+		return usage(err)
+	}
 	// The resume journal lives next to the CSV unless -journal overrides it:
 	// results/chaos.csv is rebuilt from results/chaos.journal.
 	if sup.JournalPath == "" && sup.Resume {
@@ -129,6 +134,7 @@ func run() int {
 		Scale:        scale,
 		Topo:         topo,
 		Params:       network.DefaultParams().WithWAN(sim.Time((*latency).Nanoseconds()), *bandwidth*1e6),
+		WAN:          wan,
 		Drops:        drops,
 		Outages:      outages,
 		OutagePeriod: sim.Time((*period).Nanoseconds()),
@@ -150,6 +156,10 @@ func run() int {
 
 	fmt.Printf("chaos sensitivity at %s scale, %s, WAN %v / %.3g MByte/s, fault seed %d\n",
 		scale, topo, cfg.Params.WANLatency, *bandwidth, *seed)
+	if !wan.IsClique() {
+		fmt.Printf("wide-area graph: %s (diameter %d, mean path %.2f hops)\n",
+			wan.Spec(), wan.Diameter(), wan.MeanPathLength())
+	}
 	fmt.Printf("grid: loss rates %v, outage durations %v per %v period (%d runs)\n\n",
 		drops, outages, *period, len(points))
 	fmt.Print(core.RenderChaosSummary(points))

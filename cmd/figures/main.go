@@ -11,7 +11,9 @@
 //	figures -gaps              # Section 5.1: acceptable-gap analysis
 //	figures -shapes            # Section 5.1: cluster-structure comparison
 //	figures -variability       # the paper's future work: fluctuating links
-//	figures -all               # everything
+//	figures -topology          # Section 5.1 re-asked on generated wide-area
+//	                           # graphs (clique vs torus vs circulant)
+//	figures -all               # everything (except -topology)
 //
 // Options: -scale tiny|small|paper (default paper), -apps Water,FFT,...,
 // -csv for machine-readable Figure 3 output.
@@ -35,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"twolayer/internal/apps"
@@ -59,16 +62,21 @@ func run() int {
 		gaps     = flag.Bool("gaps", false, "acceptable-gap analysis (Section 5.1)")
 		shapes   = flag.Bool("shapes", false, "cluster-structure study (Section 5.1)")
 		varia    = flag.Bool("variability", false, "wide-area fluctuation study (the paper's future work)")
-		all      = flag.Bool("all", false, "regenerate everything")
+		all      = flag.Bool("all", false, "regenerate everything (except -topology, which sets its own scale)")
+		topoF    = flag.Bool("topology", false, "wide-area topology study: the cluster-structure question at scale on generated graphs")
+		topoCl   = flag.String("topology-clusters", "", "comma-separated cluster counts for -topology (default 16,32,64)")
+		topoSp   = flag.String("topology-specs", "", "comma-separated wide-area graph specs for -topology (default clique,torus2,circulant)")
+		topoPr   = flag.Int("topology-procs", 0, "total processors for -topology (default 128; every cluster count must divide it)")
 		scaleF   = flag.String("scale", "paper", "problem scale: tiny, small or paper")
 		appsF    = flag.String("apps", "", "comma-separated application filter (Figure 3)")
-		csv      = flag.Bool("csv", false, "emit Figure 3 as CSV")
+		csv      = flag.Bool("csv", false, "emit Figure 3 / -topology output as CSV")
 		cacheDir = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
 	sup := cliutil.RegisterSupervision("")
 	workers := cliutil.RegisterWorkers()
 	analytic := cliutil.RegisterAnalytic()
+	wanSpec := cliutil.RegisterWANTopology()
 	flag.Parse()
 	if err := cliutil.ApplyWorkers(*workers); err != nil {
 		return usage(err)
@@ -129,7 +137,16 @@ func run() int {
 	var panels []core.Figure3Panel
 	var reports []core.AnalyticReport
 	if *fig3 || *gaps || *all {
-		opts := core.Figure3Options{Apps: filter, Policy: pol}
+		// -wan-topology needs the cluster count, fixed at the DAS's 4 for
+		// Figure 3.
+		wan, err := cliutil.ParseWANTopology(*wanSpec, 4)
+		if err != nil {
+			return usage(err)
+		}
+		if analytic.Enabled && !wan.IsClique() {
+			return usage(fmt.Errorf("-analytic supports only the default clique -wan-topology"))
+		}
+		opts := core.Figure3Options{Apps: filter, WAN: wan, Policy: pol}
 		if analytic.Enabled {
 			panels, reports, err = core.Figure3Analytic(scale, opts, analytic.Tolerance)
 		} else {
@@ -220,6 +237,45 @@ func run() int {
 		}
 		fmt.Println("Wide-area variability study (base 10 ms / 1 MByte/s, optimized variants):")
 		fmt.Println(core.RenderVariability(results, v))
+	}
+	if *topoF {
+		ran = true
+		if analytic.Enabled {
+			return usage(fmt.Errorf("-analytic supports only the default clique wide-area graph; -topology sweeps generated ones"))
+		}
+		tcfg := core.TopologyStudyConfig{
+			Scale:  scale,
+			Procs:  *topoPr,
+			Cache:  core.DefaultCache,
+			Policy: pol,
+		}
+		if *topoCl != "" {
+			for _, part := range strings.Split(*topoCl, ",") {
+				c, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return usage(fmt.Errorf("-topology-clusters: bad count %q: %v", part, err))
+				}
+				tcfg.Clusters = append(tcfg.Clusters, c)
+			}
+		}
+		if *topoSp != "" {
+			for _, part := range strings.Split(*topoSp, ",") {
+				tcfg.Topologies = append(tcfg.Topologies, strings.TrimSpace(part))
+			}
+		}
+		if filter != nil {
+			tcfg.Apps = filter
+		}
+		points, err := core.TopologyStudy(tcfg)
+		if err != nil {
+			return fail(err)
+		}
+		if *csv {
+			core.WriteTopologyCSV(os.Stdout, points)
+		} else {
+			fmt.Println("Wide-area topology study (fixed processor total, 3.3 ms / 0.95 MByte/s WAN):")
+			fmt.Println(core.RenderTopologyStudy(points))
+		}
 	}
 	if !ran {
 		flag.Usage()

@@ -58,6 +58,7 @@ func run() int {
 	sup := cliutil.RegisterSupervision("")
 	workers := cliutil.RegisterWorkers()
 	analytic := cliutil.RegisterAnalytic()
+	wanSpec := cliutil.RegisterWANTopology()
 	flag.Parse()
 	if err := cliutil.ApplyWorkers(*workers); err != nil {
 		return usage(err)
@@ -118,12 +119,29 @@ func run() int {
 	if err != nil {
 		fatal(err)
 	}
+	wan, err := cliutil.ParseWANTopology(*wanSpec, *clusters)
+	if err != nil {
+		return usage(err)
+	}
+	if !wan.IsClique() {
+		// Multi-hop timing is defined by the windowed engine; modes that
+		// need the single-kernel one are flag misuse, not runtime errors.
+		if analytic.Enabled {
+			return usage(fmt.Errorf("-analytic supports only the default clique -wan-topology"))
+		}
+		if *traceRun || *traceFull {
+			return usage(fmt.Errorf("-trace/-trace-full support only the default clique -wan-topology"))
+		}
+		if *jitter > 0 || *bwVar > 0 {
+			return usage(fmt.Errorf("-jitter/-bwvar support only the default clique -wan-topology"))
+		}
+	}
 	params := network.DefaultParams().WithWAN(sim.Time((*latency).Nanoseconds()), *bandwidth*1e6)
 	params.WANMessageRTTFactor = *tcp
 
 	x := core.Experiment{
 		App: app, Scale: scale, Optimized: *optimized,
-		Topo: topo, Params: params, Verify: *verify,
+		Topo: topo, Params: params, WAN: wan, Verify: *verify,
 	}
 	if analytic.Enabled {
 		if *jitter > 0 || *bwVar > 0 {
@@ -195,6 +213,10 @@ func run() int {
 	fmt.Printf("application:        %s (optimized=%v, scale=%s)\n", app.Name, *optimized, scale)
 	fmt.Printf("machine:            %s, WAN %v one-way / %.3g MByte/s (gap: %.0fx latency, %.0fx bandwidth)\n",
 		topo, params.WANLatency, *bandwidth, latGap, bwGap)
+	if !wan.IsClique() {
+		fmt.Printf("wide-area graph:    %s (diameter %d, mean path %.2f hops, %d bisection links)\n",
+			wan.Spec(), wan.Diameter(), wan.MeanPathLength(), wan.BisectionLinks())
+	}
 	fmt.Printf("runtime:            %v (single cluster: %v)\n", res.Elapsed, tl)
 	fmt.Printf("relative speedup:   %.1f%% of the all-fast-network run\n", core.RelativeSpeedup(tl, res.Elapsed))
 	fmt.Printf("comm time share:    %.1f%%\n", core.CommTimePercent(tl, res.Elapsed))

@@ -1,0 +1,31 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"twolayer/internal/wantopo"
+)
+
+// RegisterWANTopology installs the shared -wan-topology flag: the wide-area
+// graph family connecting the cluster gateways. Parse flags, then resolve
+// the value with ParseWANTopology once the cluster count is known.
+func RegisterWANTopology() *string {
+	return flag.String("wan-topology", "clique",
+		"wide-area graph: clique (the paper's fully connected default), ring, "+
+			"torus2/torus3 or torus:AxB[xC], circulant[:o1,o2,...], fattree:POD, "+
+			"or minmpl:DEG[:SEED] (seeded minimal-mean-path search)")
+}
+
+// ParseWANTopology resolves the parsed -wan-topology spec for a machine
+// with the given cluster count. The returned graph is safe to pass
+// wherever a *wantopo.WAN is accepted; the default clique keeps the cache
+// identity (and byte output) of runs that never mention a topology. A bad
+// spec is flag misuse — the caller maps the error to ExitUsage.
+func ParseWANTopology(spec string, clusters int) (*wantopo.WAN, error) {
+	w, err := wantopo.Parse(spec, clusters)
+	if err != nil {
+		return nil, fmt.Errorf("-wan-topology: %w", err)
+	}
+	return w, nil
+}

@@ -195,6 +195,13 @@ func SolveAnalytic(label string, x Experiment, pol *RunPolicy, cache *RunCache, 
 // (<= 0 means DefaultAnalyticTolerance). Alongside the panels it returns
 // one AnalyticReport per variant.
 func Figure3Analytic(scale apps.Scale, opts Figure3Options, tol float64) ([]Figure3Panel, []AnalyticReport, error) {
+	if opts.WAN != nil && !opts.WAN.IsClique() {
+		// The replay model charges one wide-area leg per cross-cluster
+		// message; multi-hop routes and forwarding contention are invisible
+		// to it. Refuse rather than answer a clique question dressed as a
+		// topology one.
+		return nil, nil, fmt.Errorf("core: analytic mode supports only the default clique wide-area graph (got %q)", opts.WAN.Spec())
+	}
 	lats := opts.Latencies
 	if lats == nil {
 		lats = Latencies

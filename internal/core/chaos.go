@@ -11,6 +11,7 @@ import (
 	"twolayer/internal/stats"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
+	"twolayer/internal/wantopo"
 )
 
 // This file is the chaos sensitivity study: the paper asks how sensitive
@@ -41,6 +42,10 @@ type ChaosConfig struct {
 	Topo *topology.Topology
 	// Params is the base interconnect (default network.DefaultParams()).
 	Params network.Params
+	// WAN is the wide-area graph (default the paper's clique). Faults keep
+	// their per-cluster-pair identity: a drop decision is made at the source
+	// gateway, whatever route the message would have taken.
+	WAN *wantopo.WAN
 	// Drops are the wide-area loss rates to sweep (default DefaultChaosDrops).
 	Drops []float64
 	// Outages are the transient-blackout durations to sweep, each applied
@@ -169,7 +174,7 @@ func ChaosStudy(cfg ChaosConfig) ([]ChaosPoint, error) {
 			}
 			res, fail, err := cfg.Policy.run(label(i), Experiment{
 				App: v.app, Scale: cfg.Scale, Optimized: v.opt,
-				Topo: cfg.Topo, Params: cfg.Params, Faults: f,
+				Topo: cfg.Topo, Params: cfg.Params, WAN: cfg.WAN, Faults: f,
 			}, cfg.Cache)
 			if err != nil {
 				return err

@@ -27,6 +27,7 @@ import (
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
+	"twolayer/internal/wantopo"
 )
 
 // Apps returns the six-application suite in the paper's Table 1 order.
@@ -69,6 +70,11 @@ type Experiment struct {
 	Optimized bool
 	Topo      *topology.Topology
 	Params    network.Params
+	// WAN selects the wide-area graph (see wantopo): nil means the paper's
+	// fully connected clique, the only shape the original testbed had.
+	// Cross-cluster messages follow the graph's routes store-and-forward
+	// through intermediate gateways.
+	WAN *wantopo.WAN
 	// Verify re-checks the computed output against the sequential
 	// reference; disable it inside large sweeps (correctness is covered by
 	// the test suite).
@@ -140,6 +146,7 @@ func (x Experiment) Run() (par.Result, error) {
 	inst := x.App.New(x.Scale, x.Topo.Procs())
 	res, err := par.RunWithContext(x.Ctx, x.Topo, par.Options{
 		Params:    x.Params,
+		WAN:       x.WAN,
 		Seed:      DefaultSeed,
 		Configure: x.Configure,
 		Trace:     x.Trace,

@@ -8,6 +8,7 @@ import (
 	"twolayer/internal/sim"
 	"twolayer/internal/stats"
 	"twolayer/internal/topology"
+	"twolayer/internal/wantopo"
 )
 
 // Figure3Panel is one of the paper's twelve speedup panels: relative
@@ -38,6 +39,8 @@ type Figure3Options struct {
 	Bandwidths []float64
 	// Topo overrides the machine; nil means the 4x8 DAS shape.
 	Topo *topology.Topology
+	// WAN overrides the wide-area graph; nil means the paper's clique.
+	WAN *wantopo.WAN
 	// Cache memoizes runs; nil means the process-wide DefaultCache. Cells
 	// shared with other sweeps (Figure 4 points, gap-analysis inputs,
 	// single-cluster baselines) are then simulated only once per process.
@@ -133,6 +136,7 @@ func Figure3(scale apps.Scale, opts Figure3Options) ([]Figure3Panel, error) {
 		res, fail, err := opts.Policy.run(label(k), Experiment{
 			App: v.app, Scale: scale, Optimized: v.opt, Topo: topo,
 			Params: network.DefaultParams().WithWAN(lats[c.i], bws[c.j]),
+			WAN:    opts.WAN,
 		}, cache)
 		if err != nil {
 			return err

@@ -25,6 +25,10 @@ type RunKey struct {
 	Topo   string
 	Params network.Params
 	Seed   int64
+	// WANTopo is the wide-area graph's canonical spec, "" for the default
+	// clique. omitzero keeps the clique JSON encoding — and therefore every
+	// pre-topology on-disk cache entry's content address — byte-identical.
+	WANTopo string `json:",omitzero"`
 	// Faults extends the key for fault-injected runs. omitzero keeps the
 	// fault-free JSON encoding — and therefore every existing on-disk cache
 	// entry's content address — byte-identical to the pre-fault format.
@@ -208,6 +212,7 @@ func (x Experiment) Key() RunKey {
 		Topo:      x.Topo.String(),
 		Params:    x.Params,
 		Seed:      DefaultSeed,
+		WANTopo:   x.WAN.CacheKey(),
 		Faults:    x.Faults,
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"twolayer/internal/faults"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
+	"twolayer/internal/wantopo"
 )
 
 // debugWANFile, when TWOLAYER_DEBUG_WAN names a file, receives one line per
@@ -111,6 +112,21 @@ func (p Params) WANLookahead() sim.Time {
 	return p.SendOverhead + 2*p.IntraLatency + p.WANPerMessage + p.WANLatency + p.RecvOverhead
 }
 
+// WANLookaheadFor is WANLookahead on an explicit wide-area graph: a
+// cross-cluster delivery traverses at least one wide-area hop, and every
+// hop detains the message for at least the graph's minimum link latency
+// scale times the base latency. Forwarding hops, queueing, and transmission
+// time only push deliveries later, so the single-minimum-hop bound is the
+// conservative horizon. On the clique (all scales 1) it returns exactly
+// WANLookahead.
+func (p Params) WANLookaheadFor(w *wantopo.WAN) sim.Time {
+	if w == nil || w.MinLatencyScale() == 1 {
+		return p.WANLookahead()
+	}
+	return p.SendOverhead + 2*p.IntraLatency + p.WANPerMessage +
+		sim.Time(float64(p.WANLatency)*w.MinLatencyScale()) + p.RecvOverhead
+}
+
 // Gap returns the NUMA gap of the configuration: the ratio between slow and
 // fast link speed, for latency and bandwidth respectively.
 func (p Params) Gap() (latencyGap, bandwidthGap float64) {
@@ -164,7 +180,14 @@ type Network struct {
 
 	nics     []link // per-rank outgoing fast-network interface
 	gateways []link // per-cluster gateway fast-network interface (incoming WAN traffic redistribution)
-	wan      []link // directed cluster-pair links, index srcCluster*C+dstCluster
+
+	// wg is the wide-area graph (wantopo.Clique by default) and wanRows its
+	// per-link mutable state: wanRows[v][i] is the link of edge RowStart(v)+i.
+	// Rows materialize on first booking, so a cluster-parallel shard that
+	// only ever sends from its own cluster allocates O(out-degree) links, not
+	// the whole graph.
+	wg      *wantopo.WAN
+	wanRows [][]link
 
 	intra IntraStats
 
@@ -250,18 +273,38 @@ type IntraStats struct {
 	Bytes    int64
 }
 
-// New creates a network for the given topology and parameters on kernel k.
+// New creates a network for the given topology and parameters on kernel k,
+// with the paper's fully connected wide-area graph.
 func New(k *sim.Kernel, topo *topology.Topology, params Params) *Network {
+	return NewWithWAN(k, topo, params, nil)
+}
+
+// NewWithWAN creates a network whose wide-area layer is the given graph; nil
+// means the default clique. Cross-cluster messages follow the graph's
+// precomputed routes, booking every hop's link FIFO store-and-forward. The
+// graph's cluster count must match the topology's.
+func NewWithWAN(k *sim.Kernel, topo *topology.Topology, params Params, w *wantopo.WAN) *Network {
 	c := topo.Clusters()
+	if w == nil {
+		w = wantopo.Clique(c)
+	}
+	if w.Clusters() != c {
+		panic(fmt.Sprintf("network: wide-area graph %q built for %d clusters, topology has %d",
+			w.Spec(), w.Clusters(), c))
+	}
 	return &Network{
 		k:        k,
 		topo:     topo,
 		params:   params,
 		nics:     make([]link, topo.Procs()),
 		gateways: make([]link, c),
-		wan:      make([]link, c*c),
+		wg:       w,
+		wanRows:  make([][]link, w.Nodes()),
 	}
 }
+
+// WAN returns the wide-area graph the network routes over.
+func (n *Network) WAN() *wantopo.WAN { return n.wg }
 
 // Topology returns the network's topology.
 func (n *Network) Topology() *topology.Topology { return n.topo }
@@ -372,10 +415,19 @@ func (n *Network) send(src, dst int, size int64, class MsgClass, del delivery) {
 				// occupying the link.
 				n.faultStats.OutageDropped++
 			} else {
-				// In-flight loss: the frame occupies the link, then is lost
-				// before the far gateway.
+				// In-flight loss: the frame occupies the first wide-area hop,
+				// then is lost before the next gateway.
 				n.faultStats.Dropped++
-				n.wanLeg(sc, dc, localArrive, size)
+				if n.deferTransit() {
+					n.router.RouteWAN(WANArrival{
+						Src: src, Dst: dst, SrcCluster: sc, DstCluster: dc,
+						Bytes: size, Sent: now, LocalArrive: localArrive,
+						Class: class, NeedsTransit: true, Undelivered: true,
+						Chain: n.k.EventBirth(),
+					})
+				} else {
+					n.wanFirstHop(sc, dc, localArrive, size)
+				}
 			}
 			if n.observer != nil {
 				n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now,
@@ -394,32 +446,110 @@ func (n *Network) send(src, dst int, size int64, class MsgClass, del delivery) {
 	n.wanDeliver(src, dst, sc, dc, now, localArrive, size, 0, class, false, del)
 }
 
-// wanLeg books the message onto the directed wide-area link for the cluster
-// pair and returns the time the last byte leaves it.
-func (n *Network) wanLeg(sc, dc int, localArrive sim.Time, size int64) (wanDone, wanLat sim.Time) {
-	lat, wanBW := n.wanSpeed(sc, dc)
-	wl := &n.wan[sc*n.topo.Clusters()+dc]
-	wanDone = wl.reserveWith(localArrive+n.params.WANPerMessage, size, wanBW,
-		sim.Time(float64(2*lat)*n.params.WANMessageRTTFactor))
-	return wanDone, lat
+// wanLink returns the mutable state of the given wide-area edge,
+// materializing its source node's row on first use.
+func (n *Network) wanLink(edgeID int) *link {
+	src := n.wg.Edge(edgeID).Src
+	row := n.wanRows[src]
+	if row == nil {
+		row = make([]link, n.wg.OutDegree(src))
+		n.wanRows[src] = row
+	}
+	return &row[edgeID-n.wg.RowStart(src)]
 }
 
-// wanDeliver runs the second and third legs of a wide-area message: the
-// store-and-forward wide-area link, then redistribution by the remote
-// gateway onto the fast network. extraDelay is injected reordering jitter,
-// applied after the last hop — the shared links book occupancy eagerly in
-// offer order, so only a post-gateway delay can actually deliver a later
-// message before an earlier one. With a router installed, the destination
-// legs are handed off after the wide-area pipe instead of running here.
+// wanEdgeSpeed returns the effective latency and bandwidth of one wide-area
+// edge for one message. Direct cluster-to-cluster edges go through the
+// legacy per-pair path (SetPairSpeeds overrides, variability draws) so the
+// clique keeps its exact pre-topology behavior; edges touching relay
+// switches scale the global Params.
+func (n *Network) wanEdgeSpeed(e wantopo.Edge) (sim.Time, float64) {
+	c := n.topo.Clusters()
+	var lat sim.Time
+	var bw float64
+	if e.Src < c && e.Dst < c {
+		lat, bw = n.wanSpeed(e.Src, e.Dst)
+	} else {
+		lat, bw = n.params.WANLatency, n.params.WANBandwidth
+	}
+	if e.LatScale != 1 {
+		lat = sim.Time(float64(lat) * e.LatScale)
+	}
+	if e.BWScale != 1 {
+		bw *= e.BWScale
+	}
+	return lat, bw
+}
+
+// wanPath books the message store-and-forward along every hop of the chosen
+// route from cluster sc to cluster dc and returns the time the last byte
+// clears the final wide-area pipe (the destination gateway's Ready time).
+// The per-message gateway overhead is charged once, at the source; each hop
+// then serializes on its own link FIFO and pays its own wire latency. Links
+// serve messages in global send order (bookings happen when the send
+// executes, even for downstream hops), the same FIFO approximation the
+// single-link model has always used — and the property that lets a barrier
+// replay sorted by (Sent, Chain) reproduce sequential link state exactly.
+func (n *Network) wanPath(sc, dc int, localArrive sim.Time, size int64) sim.Time {
+	ready := localArrive + n.params.WANPerMessage
+	for _, id := range n.wg.Route(sc, dc) {
+		e := n.wg.Edge(int(id))
+		lat, bw := n.wanEdgeSpeed(e)
+		done := n.wanLink(int(id)).reserveWith(ready, size, bw,
+			sim.Time(float64(2*lat)*n.params.WANMessageRTTFactor))
+		ready = done + lat
+	}
+	return ready
+}
+
+// wanFirstHop books only the first hop of the route — the leg an in-flight
+// fault loss occupies before the frame vanishes.
+func (n *Network) wanFirstHop(sc, dc int, localArrive sim.Time, size int64) {
+	route := n.wg.Route(sc, dc)
+	if len(route) == 0 {
+		return
+	}
+	e := n.wg.Edge(int(route[0]))
+	lat, bw := n.wanEdgeSpeed(e)
+	n.wanLink(int(route[0])).reserveWith(localArrive+n.params.WANPerMessage, size, bw,
+		sim.Time(float64(2*lat)*n.params.WANMessageRTTFactor))
+}
+
+// deferTransit reports whether wide-area link booking must be postponed to
+// the router's barrier replay. On multi-hop graphs a link can carry traffic
+// from many source clusters (forwarding), so cluster-parallel shards cannot
+// book hops inline without racing; instead the source shard ships an
+// unbooked arrival and the barrier books every record's full path, in
+// (Sent, Chain) order, on one designated network instance — the same global
+// order sequential execution books in. The clique keeps the inline path:
+// each directed link belongs to exactly one source cluster there.
+func (n *Network) deferTransit() bool {
+	return n.router != nil && n.wg.MaxHops() > 1
+}
+
+// wanDeliver runs the middle and final legs of a wide-area message: the
+// store-and-forward hops along the chosen wide-area route, then
+// redistribution by the remote gateway onto the fast network. extraDelay is
+// injected reordering jitter, applied after the last hop — the shared links
+// book occupancy eagerly in offer order, so only a post-gateway delay can
+// actually deliver a later message before an earlier one. With a router
+// installed, the destination legs are handed off after the wide-area pipe
+// instead of running here; on multi-hop graphs even the wide-area hops are
+// deferred to the router's barrier (see deferTransit).
 func (n *Network) wanDeliver(src, dst, sc, dc int, sent, localArrive sim.Time,
 	size int64, extraDelay sim.Time, class MsgClass, duplicate bool, del delivery) {
-	wanDone, wanLat := n.wanLeg(sc, dc, localArrive, size)
 	a := WANArrival{
 		Src: src, Dst: dst, SrcCluster: sc, DstCluster: dc,
-		Bytes: size, Sent: sent, Ready: wanDone + wanLat, Extra: extraDelay,
+		Bytes: size, Sent: sent, LocalArrive: localArrive, Extra: extraDelay,
 		Class: class, Duplicate: duplicate, del: del,
 		Chain: n.k.EventBirth(),
 	}
+	if n.deferTransit() {
+		a.NeedsTransit = true
+		n.router.RouteWAN(a)
+		return
+	}
+	a.Ready = n.wanPath(sc, dc, localArrive, size)
 	if n.router != nil {
 		n.router.RouteWAN(a)
 		return
@@ -442,9 +572,22 @@ type WANArrival struct {
 	// Sent is the virtual time of the originating send call: the key that
 	// orders arrivals deterministically when a router replays them.
 	Sent sim.Time
+	// LocalArrive is when the message reached the source cluster's gateway
+	// (the intra-cluster leg done); TransitWAN books the wide-area hops from
+	// here when transit was deferred.
+	LocalArrive sim.Time
 	// Ready is when the last byte clears the wide-area pipe and reaches the
-	// destination gateway.
+	// destination gateway. Unset while NeedsTransit.
 	Ready sim.Time
+	// NeedsTransit marks an arrival whose wide-area hops have not been booked
+	// yet (multi-hop graphs under a router defer them — links are shared by
+	// many source clusters there). The router must pass it to TransitWAN, in
+	// (Sent, Chain) order, before delivery.
+	NeedsTransit bool
+	// Undelivered marks a deferred record for a message lost in flight: its
+	// first hop must still be booked (the frame occupied the link), but it
+	// never reaches the destination gateway and must not be delivered.
+	Undelivered bool
 	// Extra is injected post-gateway reordering jitter.
 	Extra sim.Time
 	// Class and Duplicate label the message for observers and accounting.
@@ -472,6 +615,24 @@ type Router interface {
 // SetRouter installs a wide-area router (nil restores direct delivery).
 // Call before any traffic.
 func (n *Network) SetRouter(r Router) { n.router = r }
+
+// TransitWAN books the wide-area hops of a deferred arrival (NeedsTransit)
+// on this network instance's links and fills in Ready. A router replaying a
+// barrier must call it on one designated instance, in ascending
+// (Sent, Chain) order over all deferred records — the global send order, in
+// which sequential execution books the same links — and then skip delivery
+// of Undelivered records.
+func (n *Network) TransitWAN(a *WANArrival) {
+	if !a.NeedsTransit {
+		return
+	}
+	if a.Undelivered {
+		n.wanFirstHop(a.SrcCluster, a.DstCluster, a.LocalArrive, a.Bytes)
+		return
+	}
+	a.Ready = n.wanPath(a.SrcCluster, a.DstCluster, a.LocalArrive, a.Bytes)
+	a.NeedsTransit = false
+}
 
 // DeliverWAN runs the destination-side legs of a wide-area arrival:
 // redistribution through the destination cluster's gateway onto the fast
@@ -511,34 +672,43 @@ func (n *Network) SetFaults(plan *faults.Plan) {
 func (n *Network) FaultStats() FaultStats { return n.faultStats }
 
 // WANStats returns the accumulated statistics of the directed wide-area
-// link from cluster src to cluster dst.
+// link from cluster src to cluster dst. The zero value if the graph has no
+// such direct link (the pair communicates through intermediate hops).
 func (n *Network) WANStats(src, dst int) LinkStats {
-	return n.wan[src*n.topo.Clusters()+dst].stats
+	id, ok := n.wg.EdgeBetween(src, dst)
+	if !ok {
+		return LinkStats{}
+	}
+	if row := n.wanRows[src]; row != nil {
+		return row[id-n.wg.RowStart(src)].stats
+	}
+	return LinkStats{}
 }
 
-// TotalWAN sums traffic over all wide-area links.
+// TotalWAN sums traffic over all wide-area links, including links between
+// relay switches.
 func (n *Network) TotalWAN() LinkStats {
 	var t LinkStats
-	for i := range n.wan {
-		t.Messages += n.wan[i].stats.Messages
-		t.Bytes += n.wan[i].stats.Bytes
-		t.BusyTime += n.wan[i].stats.BusyTime
+	for _, row := range n.wanRows {
+		for i := range row {
+			t.Messages += row[i].stats.Messages
+			t.Bytes += row[i].stats.Bytes
+			t.BusyTime += row[i].stats.BusyTime
+		}
 	}
 	return t
 }
 
-// ClusterWANOut sums traffic leaving cluster c over wide-area links; Figure
-// 1 reports per-cluster values of this.
+// ClusterWANOut sums traffic over the wide-area links leaving node c —
+// Figure 1 reports per-cluster values of this. On multi-hop graphs it
+// includes traffic the cluster's gateway forwards on behalf of others.
 func (n *Network) ClusterWANOut(c int) LinkStats {
 	var t LinkStats
-	for d := 0; d < n.topo.Clusters(); d++ {
-		if d == c {
-			continue
-		}
-		s := n.WANStats(c, d)
-		t.Messages += s.Messages
-		t.Bytes += s.Bytes
-		t.BusyTime += s.BusyTime
+	row := n.wanRows[c]
+	for i := range row {
+		t.Messages += row[i].stats.Messages
+		t.Bytes += row[i].stats.Bytes
+		t.BusyTime += row[i].stats.BusyTime
 	}
 	return t
 }

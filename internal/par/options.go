@@ -8,6 +8,7 @@ import (
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
+	"twolayer/internal/wantopo"
 )
 
 // Options configures a run beyond the basic Run arguments: network
@@ -17,6 +18,10 @@ type Options struct {
 	// Params sets the interconnect speeds; the zero value means
 	// network.DefaultParams().
 	Params network.Params
+	// WAN selects the wide-area graph (see wantopo); nil means the paper's
+	// fully connected clique. Cross-cluster messages follow the graph's
+	// routes store-and-forward, booking every hop's link.
+	WAN *wantopo.WAN
 	// Seed drives the per-rank random streams.
 	Seed int64
 	// Configure, if non-nil, runs against the freshly built network before

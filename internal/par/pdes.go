@@ -8,7 +8,12 @@ package par
 //
 //   - NICs, mailboxes, per-rank envelopes: owned by the rank's cluster;
 //   - the directed wide-area link (src,dst) and its fault counter: only
-//     ever touched by sends originating in src;
+//     ever touched by sends originating in src. On a multi-hop wide-area
+//     graph (Options.WAN) this ownership breaks — forwarding shares links
+//     across source clusters — so the network defers all wide-area hop
+//     bookings to the barrier, which replays them on shard 0's network in
+//     the same global (Sent, Chain) order the sequential engine books in
+//     (see network.TransitWAN);
 //   - the destination gateway: only touched by incoming wide-area traffic,
 //     which the window router replays at barriers in a deterministic order
 //     (send time, then the send events' causal birth chains) — the same
@@ -148,6 +153,17 @@ func (rt *runtime) Flush(sim.Time) int {
 	})
 	for i := range rt.merge {
 		a := &rt.merge[i]
+		// On multi-hop graphs the wide-area hops were deferred (links are
+		// shared across source clusters); book them now, in this sorted
+		// order — the sequential engine's global send order — on shard 0's
+		// network, the designated owner of all wide-area link state. Pure
+		// state mutation, no kernel interaction, so no replay bracketing.
+		if a.NeedsTransit {
+			rt.shards[0].net.TransitWAN(a)
+			if a.Undelivered {
+				continue // lost in flight: first hop booked, nothing arrives
+			}
+		}
 		// Replay each arrival as of its send: the delivery event must carry
 		// the same birth chain it gets on a single global kernel —
 		// everything the woken receiver schedules inherits it, and the next

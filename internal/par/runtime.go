@@ -130,6 +130,12 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 		if opts.Configure != nil {
 			return Result{}, errors.New("par: op-level recording cannot observe Configure network extensions")
 		}
+		if opts.WAN != nil && !opts.WAN.IsClique() {
+			// The replay model charges one wide-area leg per cross-cluster
+			// message; multi-hop routes and forwarding contention are
+			// invisible to it.
+			return Result{}, errors.New("par: op-level recording requires the default clique wide-area graph")
+		}
 		rt.rec = rec
 	}
 	if opts.Faults.Enabled() || opts.Transport.Enabled {
@@ -146,8 +152,27 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 	// variability whose link state the partitioning cannot localize; Trace
 	// observes deliveries in global order). Ineligible runs silently fall
 	// back to the sequential engine, which is always correct.
-	lookahead := opts.Params.WANLookahead()
-	rt.pdes = opts.Workers >= 1 && topo.Clusters() > 1 && lookahead > 0 &&
+	lookahead := opts.Params.WANLookaheadFor(opts.WAN)
+	// Multi-hop wide-area graphs have only one reproducible timing
+	// semantics: windowed deferred link booking in (Sent, Chain) order (see
+	// pdes.go — forwarded messages share links across source clusters, and
+	// the sequential kernel's exact-time tie order cannot be reconstructed
+	// in parallel). Sequential requests therefore run the windowed engine
+	// on one worker, and hooks that require the single-kernel engine are
+	// refused rather than silently given different timings.
+	multiHop := opts.WAN != nil && opts.WAN.MaxHops() > 1
+	if multiHop {
+		if opts.Configure != nil {
+			return Result{}, errors.New("par: Configure network extensions require the default clique wide-area graph")
+		}
+		if opts.Trace != nil {
+			return Result{}, errors.New("par: tracing requires the default clique wide-area graph")
+		}
+		if topo.Clusters() < 2 || lookahead <= 0 {
+			return Result{}, errors.New("par: a multi-hop wide-area graph needs at least two clusters and a positive lookahead")
+		}
+	}
+	rt.pdes = (opts.Workers >= 1 || multiHop) && topo.Clusters() > 1 && lookahead > 0 &&
 		opts.Configure == nil && opts.Trace == nil
 	if rt.pdes {
 		rt.shards = make([]*shard, topo.Clusters())
@@ -158,7 +183,7 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 			// kernel's exact-time tie order. Sequential kernels skip the
 			// tracking (and its per-event copies) entirely.
 			k.RecordChains()
-			net := network.New(k, topo, opts.Params)
+			net := network.NewWithWAN(k, topo, opts.Params, opts.WAN)
 			sh := &shard{rt: rt, id: c, k: k, net: net, ranks: topo.RanksIn(c)}
 			net.SetRouter(sh)
 			if opts.Faults.Enabled() {
@@ -170,7 +195,7 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 		}
 	} else {
 		k := sim.NewKernel()
-		net := network.New(k, topo, opts.Params)
+		net := network.NewWithWAN(k, topo, opts.Params, opts.WAN)
 		if opts.Configure != nil {
 			opts.Configure(net)
 		}
