@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-runpath bench-pdes bench-analytic bench-topo chaos chaos-resume
+.PHONY: build test vet race check bench bench-runpath bench-pdes bench-analytic bench-topo chaos chaos-resume heatmap
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,13 @@ bench-pdes:
 # analytic engine, with per-variant recording cost, per-grid-point solve
 # cost and prediction error.
 bench-analytic:
-	$(GO) run ./cmd/bench -analytic -o results/BENCH_analytic.json -repeat 5
+	$(GO) run ./cmd/bench -analytic -o results/BENCH_analytic.json -repeat 15
+
+# heatmap regenerates results/heatmap.csv: the 64x64 per-variant analytic
+# sensitivity lattice at Small scale (deterministic; byte-identical across
+# reruns, recordings shared through the run cache).
+heatmap:
+	$(GO) run ./cmd/figures -heatmap -scale small > results/heatmap.csv
 
 # bench-topo regenerates results/BENCH_topo.json: simulator throughput and
 # peak heap as the cluster count scales 16 -> 256, on the paper's clique

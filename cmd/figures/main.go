@@ -13,7 +13,8 @@
 //	figures -variability       # the paper's future work: fluctuating links
 //	figures -topology          # Section 5.1 re-asked on generated wide-area
 //	                           # graphs (clique vs torus vs circulant)
-//	figures -all               # everything (except -topology)
+//	figures -heatmap           # dense analytic sensitivity heatmap (CSV)
+//	figures -all               # everything (except -topology and -heatmap)
 //
 // Options: -scale tiny|small|paper (default paper), -apps Water,FFT,...,
 // -csv for machine-readable Figure 3 output.
@@ -39,6 +40,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"runtime/pprof"
 
 	"twolayer/internal/apps"
 	"twolayer/internal/cliutil"
@@ -67,11 +70,14 @@ func run() int {
 		topoCl   = flag.String("topology-clusters", "", "comma-separated cluster counts for -topology (default 16,32,64)")
 		topoSp   = flag.String("topology-specs", "", "comma-separated wide-area graph specs for -topology (default clique,torus2,circulant)")
 		topoPr   = flag.Int("topology-procs", 0, "total processors for -topology (default 128; every cluster count must divide it)")
+		heatmap  = flag.Bool("heatmap", false, "dense per-variant sensitivity heatmap on log-spaced axes (analytic, CSV to stdout)")
+		heatSize = flag.Int("heatmap-size", core.DefaultHeatmapSize, "heatmap cells per axis")
 		scaleF   = flag.String("scale", "paper", "problem scale: tiny, small or paper")
 		appsF    = flag.String("apps", "", "comma-separated application filter (Figure 3)")
 		csv      = flag.Bool("csv", false, "emit Figure 3 / -topology output as CSV")
 		cacheDir = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent run cache")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (cells carry pprof labels; see -tagfocus)")
 	)
 	sup := cliutil.RegisterSupervision("")
 	workers := cliutil.RegisterWorkers()
@@ -93,6 +99,17 @@ func run() int {
 		return usage(err)
 	}
 	defer cleanup()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if !*noCache {
 		if err := core.DefaultCache.SetDir(*cacheDir); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: run cache disabled: %v\n", err)
@@ -148,7 +165,7 @@ func run() int {
 		}
 		opts := core.Figure3Options{Apps: filter, WAN: wan, Policy: pol}
 		if analytic.Enabled {
-			panels, reports, err = core.Figure3Analytic(scale, opts, analytic.Tolerance)
+			panels, reports, err = core.Figure3Analytic(scale, opts, analytic.Options())
 		} else {
 			panels, err = core.Figure3(scale, opts)
 		}
@@ -179,7 +196,7 @@ func run() int {
 		ran = true
 		var bw, lat []core.Figure4Curve
 		if analytic.Enabled {
-			bw, err = core.Figure4AnalyticBandwidth(scale, pol, analytic.Tolerance)
+			bw, err = core.Figure4AnalyticBandwidth(scale, pol, analytic.Options())
 		} else {
 			bw, err = core.Figure4Bandwidth(scale, pol)
 		}
@@ -189,7 +206,7 @@ func run() int {
 		fmt.Println("Figure 4 (left): inter-cluster communication time vs bandwidth at 3.3 ms")
 		fmt.Println(core.RenderFigure4(bw, "bandwidth B/s"))
 		if analytic.Enabled {
-			lat, err = core.Figure4AnalyticLatency(scale, pol, analytic.Tolerance)
+			lat, err = core.Figure4AnalyticLatency(scale, pol, analytic.Options())
 		} else {
 			lat, err = core.Figure4Latency(scale, pol)
 		}
@@ -211,7 +228,7 @@ func run() int {
 		var results []core.ShapeResult
 		if analytic.Enabled {
 			results, err = core.ClusterShapeStudyAnalytic(scale, []string{"Water", "ASP"},
-				3300*sim.Microsecond, 0.95e6, pol, analytic.Tolerance)
+				3300*sim.Microsecond, 0.95e6, pol, analytic.Options())
 		} else {
 			results, err = core.ClusterShapeStudy(scale, []string{"Water", "ASP"},
 				3300*sim.Microsecond, 0.95e6, pol)
@@ -237,6 +254,19 @@ func run() int {
 		}
 		fmt.Println("Wide-area variability study (base 10 ms / 1 MByte/s, optimized variants):")
 		fmt.Println(core.RenderVariability(results, v))
+	}
+	if *heatmap {
+		ran = true
+		hPanels, _, err := core.Heatmap(scale, core.HeatmapOptions{
+			Size:     *heatSize,
+			Apps:     filter,
+			Policy:   pol,
+			Analytic: analytic.Options(),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		core.WriteHeatmapCSV(os.Stdout, hPanels)
 	}
 	if *topoF {
 		ran = true

@@ -155,7 +155,7 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "sweep: run cache disabled: %v\n", err)
 			}
 		}
-		return runAnalytic(x, scale, *bandwidth, pol, analytic.Tolerance)
+		return runAnalytic(x, scale, *bandwidth, pol, analytic.Options())
 	}
 	if *jitter > 0 || *bwVar > 0 {
 		v := network.Variability{
@@ -260,9 +260,9 @@ func run() int {
 // graph: one simulated run at the reference network point (shared across
 // reruns through the graph cache), then an analytic solve plus the
 // latency/bandwidth decomposition at the asked point.
-func runAnalytic(x core.Experiment, scale apps.Scale, bandwidthMB float64, pol *core.RunPolicy, tol float64) int {
+func runAnalytic(x core.Experiment, scale apps.Scale, bandwidthMB float64, pol *core.RunPolicy, a core.AnalyticOptions) int {
 	label := fmt.Sprintf("%s (optimized=%v) on %s analytic reference", x.App.Name, x.Optimized, x.Topo)
-	pt, failed, err := core.SolveAnalytic(label, x, pol, core.DefaultCache, tol)
+	pt, failed, err := core.SolveAnalytic(label, x, pol, core.DefaultCache, a)
 	if err != nil {
 		fatal(err)
 	}

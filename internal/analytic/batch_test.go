@@ -1,0 +1,230 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"twolayer/internal/network"
+	"twolayer/internal/sim"
+)
+
+// randomPoints derives a point set from a graph's reference parameters the
+// way real sweeps do: mostly WAN-only variations (shared LAN prefix), with
+// optional LAN perturbations mixed in to exercise the non-uniform batch
+// path, plus the degenerate corners sensitivity analysis asks for
+// (zero latency, infinite bandwidth).
+func randomPoints(r *rand.Rand, ref network.Params, n int, mixLan bool) []network.Params {
+	ps := make([]network.Params, n)
+	for i := range ps {
+		p := ref
+		p.WANLatency = sim.Time(r.Int63n(300_000_000))
+		p.WANBandwidth = 1e4 + r.Float64()*1e7
+		switch r.Intn(8) {
+		case 0:
+			p.WANLatency = 0
+		case 1:
+			p.WANBandwidth = math.MaxFloat64
+		}
+		if mixLan && r.Intn(3) == 0 {
+			p.IntraLatency = sim.Time(r.Intn(50_000))
+			p.IntraBandwidth = 1e6 + r.Float64()*1e8
+			p.SendOverhead = sim.Time(r.Intn(20_000))
+			p.RecvOverhead = sim.Time(r.Intn(20_000))
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// TestSolveBatchMatchesScalar is the batched-vs-scalar property test: over
+// randomized recorded graphs and random point sets — WAN-only sweeps that
+// share the prefix snapshot, mixed-LAN sets that cannot, and batches both
+// smaller and larger than one lane chunk — SolveBatch must be bit-identical
+// to per-point Solve, whether the scalar answers come from a fresh
+// evaluator or from the same evaluator (prefix-snapshot reuse in effect,
+// in both orders).
+func TestSolveBatchMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		g := randomGraph(r, true)
+		mixLan := i%2 == 1
+		n := 1 + r.Intn(2*batchLanes+7)
+		ps := randomPoints(r, g.Ref, n, mixLan)
+
+		// Scalar answers from a fresh evaluator.
+		fresh := NewEval(g)
+		want := make([]sim.Time, n)
+		for j, p := range ps {
+			want[j] = fresh.Solve(p)
+		}
+
+		// Batch before any scalar solve (cold snapshot)...
+		ev := NewEval(g)
+		got := ev.SolveBatch(ps)
+		for j := range ps {
+			if got[j] != want[j] {
+				t.Fatalf("graph %d point %d: cold SolveBatch %d, scalar %d", i, j, got[j], want[j])
+			}
+		}
+		// ...then scalar solves on the same evaluator (its snapshot now
+		// warm from the batch pass)...
+		for j, p := range ps {
+			if again := ev.Solve(p); again != want[j] {
+				t.Fatalf("graph %d point %d: scalar after batch %d, want %d", i, j, again, want[j])
+			}
+		}
+		// ...then batch again on the warmed evaluator.
+		warm := ev.SolveBatch(ps)
+		for j := range ps {
+			if warm[j] != want[j] {
+				t.Fatalf("graph %d point %d: warm SolveBatch %d, want %d", i, j, warm[j], want[j])
+			}
+		}
+		if st := ev.Stats(); st.BatchPoints != 2*n || st.BatchSolves == 0 {
+			t.Fatalf("graph %d: batch counters off: %+v for %d points twice", i, st, n)
+		}
+	}
+}
+
+// TestSolveBatchParallelMatchesScalar pins the sharded frozen pass at
+// several worker counts against per-point Solve.
+func TestSolveBatchParallelMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		g := randomGraph(r, true)
+		n := 1 + r.Intn(4*batchLanes)
+		ps := randomPoints(r, g.Ref, n, i%3 == 0)
+		fresh := NewEval(g)
+		want := make([]sim.Time, n)
+		for j, p := range ps {
+			want[j] = fresh.Solve(p)
+		}
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := NewEval(g).SolveBatchParallel(ps, workers)
+			for j := range ps {
+				if got[j] != want[j] {
+					t.Fatalf("graph %d workers %d point %d: %d, want %d", i, workers, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveMatchedBatchMatchesScalar pins the clone-sharded matched replay
+// against per-point SolveMatched at several worker counts — including
+// graphs with no wildcard receives, where the matched engine's choice
+// collapses to the frozen pass (the engine-choice fast path).
+func TestSolveMatchedBatchMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		wildcards := i%4 != 0 // every 4th graph is all-specific: frozen fast path
+		g := randomGraph(r, wildcards)
+		n := 1 + r.Intn(40)
+		ps := randomPoints(r, g.Ref, n, i%2 == 0)
+		fresh := NewEval(g)
+		want := make([]sim.Time, n)
+		for j, p := range ps {
+			want[j] = fresh.SolveMatched(p)
+		}
+		for _, workers := range []int{1, 2, 5} {
+			got := NewEval(g).SolveMatchedBatch(ps, workers)
+			for j := range ps {
+				if got[j] != want[j] {
+					t.Fatalf("graph %d (wildcards=%v) workers %d point %d: %d, want %d",
+						i, wildcards, workers, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCloneMatchesParent: a clone made mid-life (snapshot warm, matched
+// streams built) answers exactly like its parent, and using it does not
+// disturb the parent.
+func TestCloneMatchesParent(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 20; i++ {
+		g := randomGraph(r, true)
+		ps := randomPoints(r, g.Ref, 8, false)
+		parent := NewEval(g)
+		parent.Solve(ps[0])        // warm the prefix snapshot
+		parent.SolveMatched(ps[0]) // build the matched streams
+		cl := parent.Clone()
+		for _, p := range ps {
+			pf, pm := parent.Solve(p), parent.SolveMatched(p)
+			cf, cm := cl.Solve(p), cl.SolveMatched(p)
+			if pf != cf || pm != cm {
+				t.Fatalf("graph %d: clone diverged: frozen %d/%d matched %d/%d", i, pf, cf, pm, cm)
+			}
+		}
+	}
+}
+
+// TestClonesSolveConcurrently is the -race regression test for the
+// documented contract: one parent evaluator, several clones, all solving
+// the same shared graph from their own goroutines simultaneously.
+func TestClonesSolveConcurrently(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(11)), true)
+	ps := randomPoints(rand.New(rand.NewSource(12)), g.Ref, 16, false)
+	parent := NewEval(g)
+	parent.SolveMatched(ps[0]) // build shared streams before cloning
+	wantF := make([]sim.Time, len(ps))
+	wantM := make([]sim.Time, len(ps))
+	for i, p := range ps {
+		wantF[i] = parent.Solve(p)
+		wantM[i] = parent.SolveMatched(p)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		cl := parent.Clone()
+		go func(cl *Eval) {
+			for i, p := range ps {
+				if got := cl.Solve(p); got != wantF[i] {
+					done <- fmtErr("clone Solve point %d: %d, want %d", i, got, wantF[i])
+					return
+				}
+				if got := cl.SolveMatched(p); got != wantM[i] {
+					done <- fmtErr("clone SolveMatched point %d: %d, want %d", i, got, wantM[i])
+					return
+				}
+				if got := cl.SolveBatch(ps); got[i] != wantF[i] {
+					done <- fmtErr("clone SolveBatch point %d: %d, want %d", i, got[i], wantF[i])
+					return
+				}
+			}
+			done <- nil
+		}(cl)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestBatchSensitivityCorners: the degenerate points sensitivity
+// decomposition feeds through the batch path (zero latency, infinite
+// bandwidth) agree with the scalar Sensitivity implementation.
+func TestBatchSensitivityCorners(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		g := randomGraph(r, true)
+		p := g.Ref
+		p.WANLatency = p.WANLatency*2 + 1
+		zeroLat := p
+		zeroLat.WANLatency = 0
+		infBW := p
+		infBW.WANBandwidth = math.MaxFloat64
+		s := NewEval(g).Sensitivity(p)
+		ts := NewEval(g).SolveBatch([]network.Params{p, zeroLat, infBW})
+		if s.Elapsed != ts[0] || s.LatencyCost != ts[0]-ts[1] || s.BandwidthCost != ts[0]-ts[2] {
+			t.Fatalf("graph %d: batch sensitivity diverged: scalar %+v, batch %v", i, s, ts)
+		}
+	}
+}
+
+func fmtErr(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

@@ -20,9 +20,14 @@ import (
 // contention, since the recorded FIFO chains serialize messages even where
 // a slower network would have spread them out.
 //
-// An Eval carries reusable state and is not safe for concurrent use;
-// create one evaluator per goroutine (the graph itself is read-only and
-// shared).
+// Concurrency contract: an Eval carries reusable state and must only be
+// used from one goroutine at a time — no method, including Solve,
+// SolveMatched, SolveBatch and Clone, is safe to call concurrently with
+// any other on the same Eval. For concurrent grid solving, create one
+// evaluator per goroutine: either independently with NewEval (the graph
+// itself is read-only and shared), or with Clone, which also shares the
+// prepared replay streams and the current prefix snapshot.
+// SolveBatchParallel and SolveMatchedBatch manage such clones internally.
 type Eval struct {
 	g *Graph
 
@@ -67,11 +72,26 @@ type Eval struct {
 	// wildcard receives, where the frozen pass IS the matched answer.
 	mSpecific, mSpecificSet bool
 
+	// Batched-solve state (SolveBatch), allocated on first use and reused
+	// across chunks; see batch.go. msgSlot/slotCount are the read-only
+	// message -> delivery-slot remap and msgSizeID/sizeCount the dense
+	// message-size table (buildSlots); all four are shared by clones.
+	batch     *batchState
+	msgSlot   []int32
+	msgSizeID []int32
+	slotCount int
+	sizeCount int
+	// prog is the graph pre-compiled for the batched walk (buildProg):
+	// static op classification with spans and receive runs fused. Built
+	// once per graph, read-only, shared by clones.
+	prog *batchProg
+
 	// Counters for benchmarking and reports.
 	fullSolves, incrementalSolves int
 	matchedSolves, matchedNarrowed, matchedFallbacks,
 	matchedConflicts int
-	opsEvaluated int64
+	batchSolves, batchPoints int
+	opsEvaluated             int64
 }
 
 // lanParams is the subset of network parameters that can affect replay
@@ -118,6 +138,8 @@ func NewEval(g *Graph) *Eval {
 			break
 		}
 	}
+	e.msgSlot, e.msgSizeID, e.slotCount, e.sizeCount = buildSlots(g)
+	e.prog = buildProg(g, e.msgSlot, e.msgSizeID, e.wanStart)
 	return e
 }
 
@@ -126,26 +148,40 @@ func NewEval(g *Graph) *Eval {
 // other change falls back to a full pass, which also refreshes the
 // snapshot.
 func (e *Eval) Solve(p network.Params) sim.Time {
-	g := e.g
-	start, msgs := 0, 0
 	if e.snapValid && lanOf(p) == e.snapLan {
 		e.restore()
-		start, msgs = e.wanStart, e.prefixMsgs
 		e.incrementalSolves++
 	} else {
-		clearTimes(e.rankEnd)
-		clearTimes(e.nicFree)
-		clearTimes(e.gwFree)
-		clearTimes(e.wanFree)
+		// ensureSnapshot leaves the live state exactly at the snapshot
+		// point, so the suffix walk continues from it directly.
+		e.ensureSnapshot(p)
 		e.fullSolves++
 	}
+	e.walk(p, e.wanStart, len(e.g.Ops))
+	return e.maxRankEnd()
+}
 
+// ensureSnapshot (re)builds the prefix snapshot for p's LAN parameters:
+// clear, replay the WAN-independent prefix, snapshot. On return the live
+// replay state equals the snapshot. Callers that find snapValid with a
+// matching lanOf may restore() instead, which is cheaper.
+func (e *Eval) ensureSnapshot(p network.Params) {
+	clearTimes(e.rankEnd)
+	clearTimes(e.nicFree)
+	clearTimes(e.gwFree)
+	clearTimes(e.wanFree)
+	e.walk(p, 0, e.wanStart)
+	e.snapshot(lanOf(p))
+}
+
+// walk replays operations [lo, hi) under p against the live scalar state.
+// The prefix/suffix split at wanStart is the only split callers use, so a
+// walk never straddles a snapshot point.
+func (e *Eval) walk(p network.Params, lo, hi int) {
+	g := e.g
 	c := g.Clusters
 	rttExtra := sim.Time(float64(2*p.WANLatency) * p.WANMessageRTTFactor)
-	for i := start; i < len(g.Ops); i++ {
-		if i == e.wanStart && start == 0 {
-			e.snapshot(lanOf(p))
-		}
+	for i := lo; i < hi; i++ {
 		rank := g.Rank[i]
 		switch g.Ops[i] {
 		case OpSpan:
@@ -162,7 +198,6 @@ func (e *Eval) Solve(p network.Params) sim.Time {
 			if dst == rank {
 				// Loopback: software overheads only.
 				e.delivered[m] = ready + p.RecvOverhead
-				msgs++
 				break
 			}
 			nicDone := reserve(&e.nicFree[rank], ready, size, p.IntraBandwidth, 0)
@@ -175,15 +210,16 @@ func (e *Eval) Solve(p network.Params) sim.Time {
 			} else {
 				e.delivered[m] = localArrive + p.RecvOverhead
 			}
-			msgs++
 		case OpRecv:
 			if d := e.delivered[g.Arg[i]]; d > e.rankEnd[rank] {
 				e.rankEnd[rank] = d
 			}
 		}
 	}
-	e.opsEvaluated += int64(len(g.Ops) - start)
+	e.opsEvaluated += int64(hi - lo)
+}
 
+func (e *Eval) maxRankEnd() sim.Time {
 	var elapsed sim.Time
 	for _, t := range e.rankEnd {
 		if t > elapsed {
@@ -251,6 +287,10 @@ type Stats struct {
 	// MatchedConflicts counts recorded poll messages a dynamic wildcard
 	// match consumed first.
 	MatchedSolves, MatchedNarrowed, MatchedFallbacks, MatchedConflicts int
+	// BatchSolves counts batched chunk passes (SolveBatch walks the DAG
+	// once per chunk of lanes); BatchPoints the parameter points answered
+	// through them.
+	BatchSolves, BatchPoints int
 	// OpsEvaluated is the total operations replayed across all solves;
 	// with incremental reuse it undercounts Nodes×Solves by the skipped
 	// prefixes.
@@ -269,6 +309,8 @@ func (e *Eval) Stats() Stats {
 		MatchedNarrowed:   e.matchedNarrowed,
 		MatchedFallbacks:  e.matchedFallbacks,
 		MatchedConflicts:  e.matchedConflicts,
+		BatchSolves:       e.batchSolves,
+		BatchPoints:       e.batchPoints,
 		OpsEvaluated:      e.opsEvaluated,
 		PrefixNodes:       e.wanStart,
 	}

@@ -28,31 +28,41 @@ import (
 const timeInf = sim.Time(math.MaxInt64)
 
 // ensureMatched builds the per-rank operation streams and the op-to-pattern
-// map on first use, plus the reusable replay state.
+// map on first use, plus the reusable replay state. The streams (rankOps,
+// opPat) are read-only once built and shared with clones; the scratch is
+// per-evaluator (see allocMatchedScratch).
 func (e *Eval) ensureMatched() {
-	if e.rankOps != nil {
-		return
-	}
-	g := e.g
-	counts := make([]int32, g.Procs)
-	for _, r := range g.Rank {
-		counts[r]++
-	}
-	e.rankOps = make([][]int32, g.Procs)
-	for r := range e.rankOps {
-		e.rankOps[r] = make([]int32, 0, counts[r])
-	}
-	e.opPat = make([]int32, len(g.Ops))
-	pat := int32(0)
-	for i, k := range g.Ops {
-		e.rankOps[g.Rank[i]] = append(e.rankOps[g.Rank[i]], int32(i))
-		if k == OpRecv {
-			e.opPat[i] = pat
-			pat++
-		} else {
-			e.opPat[i] = -1
+	if e.rankOps == nil {
+		g := e.g
+		counts := make([]int32, g.Procs)
+		for _, r := range g.Rank {
+			counts[r]++
+		}
+		e.rankOps = make([][]int32, g.Procs)
+		for r := range e.rankOps {
+			e.rankOps[r] = make([]int32, 0, counts[r])
+		}
+		e.opPat = make([]int32, len(g.Ops))
+		pat := int32(0)
+		for i, k := range g.Ops {
+			e.rankOps[g.Rank[i]] = append(e.rankOps[g.Rank[i]], int32(i))
+			if k == OpRecv {
+				e.opPat[i] = pat
+				pat++
+			} else {
+				e.opPat[i] = -1
+			}
 		}
 	}
+	if e.mPos == nil {
+		e.allocMatchedScratch()
+	}
+}
+
+// allocMatchedScratch allocates the per-solve matched-replay scratch. A
+// clone that inherits the shared streams still needs its own.
+func (e *Eval) allocMatchedScratch() {
+	g := e.g
 	e.mPos = make([]int32, g.Procs)
 	e.mAtRecv = make([]bool, g.Procs)
 	e.mAwait = make([]int64, g.Procs)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"twolayer/internal/analytic"
 	"twolayer/internal/apps"
@@ -37,6 +38,27 @@ func ReferenceParams() network.Params {
 // relative error at the reference point (the self-check; the frozen replay
 // must be exact there regardless).
 const DefaultAnalyticTolerance = 0.05
+
+// AnalyticOptions tunes how analytic sweeps check and solve their grids.
+// The zero value means: default tolerance, batched solves.
+type AnalyticOptions struct {
+	// Tolerance bounds the matched replay's self-check error at the
+	// reference point; <= 0 means DefaultAnalyticTolerance.
+	Tolerance float64
+	// Scalar forces the point-at-a-time solve loop instead of the batched
+	// structure-of-arrays pass. The two are bit-identical (property-tested
+	// in internal/analytic and pinned by TestAnalyticBatchEqualsScalar
+	// here); the switch exists for A/B verification and benchmarking, not
+	// because the answers differ.
+	Scalar bool
+}
+
+func (a AnalyticOptions) tolerance() float64 {
+	if a.Tolerance <= 0 {
+		return DefaultAnalyticTolerance
+	}
+	return a.Tolerance
+}
 
 // AnalyticReport is the per-variant health and sensitivity summary of an
 // analytic sweep.
@@ -94,7 +116,7 @@ func analyticProbes() []network.Params {
 // its evaluator plus report skeleton. The exactness check runs on every
 // load: a cached graph that no longer replays to its recorded elapsed time
 // is corrupt (or the replay model drifted) and must not produce figures.
-func analyticEval(label string, x Experiment, pol *RunPolicy, cache *RunCache, tol float64) (*analytic.Eval, *CellFailure, AnalyticReport, error) {
+func analyticEval(label string, x Experiment, pol *RunPolicy, cache *RunCache, a AnalyticOptions) (*analytic.Eval, *CellFailure, AnalyticReport, error) {
 	rep := AnalyticReport{App: x.App.Name, Optimized: x.Optimized}
 	g, fail, err := cache.RecordedGraph(label, x, pol)
 	if err != nil || fail != nil {
@@ -109,21 +131,16 @@ func analyticEval(label string, x Experiment, pol *RunPolicy, cache *RunCache, t
 	rep.Messages = g.Messages()
 	refErr := relErrPct(ev.SolveMatched(g.Ref), g.RefElapsed)
 	rep.RefErrorPct = refErr
-	if tol <= 0 {
-		tol = DefaultAnalyticTolerance
-	}
+	tol := a.tolerance()
 	if refErr > 100*tol {
 		return nil, nil, rep, fmt.Errorf("core: %s: matched replay at the reference off by %.2f%% (tolerance %.0f%%)",
 			label, refErr, 100*tol)
 	}
 	rep.Engine = "matched"
-	var s analytic.Sensitivity
 	if ev.FrozenAccurate(analyticProbes(), tol/3) {
 		rep.Engine = "frozen"
-		s = ev.Sensitivity(g.Ref)
-	} else {
-		s = ev.SensitivityMatched(g.Ref)
 	}
+	s := analyticSensitivity(analyticGridSolver(ev, rep, a), g.Ref)
 	rep.LatencySharePct = 100 * s.LatencyShare()
 	rep.BandwidthSharePct = 100 * s.BandwidthShare()
 	return ev, nil, rep, nil
@@ -136,6 +153,58 @@ func analyticSolver(ev *analytic.Eval, rep AnalyticReport) func(network.Params) 
 		return ev.Solve
 	}
 	return ev.SolveMatched
+}
+
+// analyticWorkers resolves the worker count batched grid solves shard
+// across: the shared -workers convention when a CLI set one, the machine
+// default otherwise.
+func analyticWorkers() int {
+	if w := DefaultWorkers(); w > 0 {
+		return w
+	}
+	return sim.DefaultWorkers()
+}
+
+// analyticGridSolver returns the multi-point solve function for one
+// variant: the batched structure-of-arrays pass on the calibrated engine
+// (frozen points shared across one walk, matched points sharded across
+// clones), or — under AnalyticOptions.Scalar — the point-at-a-time loop
+// the batch is verified bit-identical against.
+func analyticGridSolver(ev *analytic.Eval, rep AnalyticReport, a AnalyticOptions) func([]network.Params) []sim.Time {
+	if a.Scalar {
+		solve := analyticSolver(ev, rep)
+		return func(ps []network.Params) []sim.Time {
+			out := make([]sim.Time, len(ps))
+			for i, p := range ps {
+				out[i] = solve(p)
+			}
+			return out
+		}
+	}
+	if rep.Engine == "frozen" {
+		return func(ps []network.Params) []sim.Time {
+			return ev.SolveBatchParallel(ps, analyticWorkers())
+		}
+	}
+	return func(ps []network.Params) []sim.Time {
+		return ev.SolveMatchedBatch(ps, analyticWorkers())
+	}
+}
+
+// analyticSensitivity is Eval.Sensitivity routed through a grid solver:
+// one three-point solve (asked, zero-latency, infinite-bandwidth) instead
+// of three scalar ones, same arithmetic.
+func analyticSensitivity(solve func([]network.Params) []sim.Time, p network.Params) analytic.Sensitivity {
+	zeroLat := p
+	zeroLat.WANLatency = 0
+	infBW := p
+	infBW.WANBandwidth = math.MaxFloat64
+	ts := solve([]network.Params{p, zeroLat, infBW})
+	return analytic.Sensitivity{
+		Elapsed:       ts[0],
+		LatencyCost:   ts[0] - ts[1],
+		BandwidthCost: ts[0] - ts[2],
+	}
 }
 
 func relErrPct(got, want sim.Time) float64 {
@@ -165,21 +234,16 @@ type AnalyticPoint struct {
 // itself always happens at ReferenceParams (Verify and Configure are
 // dropped — they cannot ride on a recording). A supervised kill of the one
 // recording run comes back as the CellFailure.
-func SolveAnalytic(label string, x Experiment, pol *RunPolicy, cache *RunCache, tol float64) (AnalyticPoint, *CellFailure, error) {
+func SolveAnalytic(label string, x Experiment, pol *RunPolicy, cache *RunCache, a AnalyticOptions) (AnalyticPoint, *CellFailure, error) {
 	asked := x.Params
 	x.Params = ReferenceParams()
 	x.Verify = false
 	x.Configure = nil
-	ev, fail, rep, err := analyticEval(label, x, pol, cache, tol)
+	ev, fail, rep, err := analyticEval(label, x, pol, cache, a)
 	if err != nil || fail != nil {
 		return AnalyticPoint{Report: rep}, fail, err
 	}
-	var s analytic.Sensitivity
-	if rep.Engine == "frozen" {
-		s = ev.Sensitivity(asked)
-	} else {
-		s = ev.SensitivityMatched(asked)
-	}
+	s := analyticSensitivity(analyticGridSolver(ev, rep, a), asked)
 	return AnalyticPoint{
 		Elapsed:           s.Elapsed,
 		LatencySharePct:   100 * s.LatencyShare(),
@@ -190,11 +254,12 @@ func SolveAnalytic(label string, x Experiment, pol *RunPolicy, cache *RunCache, 
 
 // Figure3Analytic produces the paper's Figure 3 panels from one recorded
 // run per variant: record (or load) the reference graph, then solve every
-// latency/bandwidth cell analytically. Baselines are simulated through the
-// cache as usual. tol bounds the matched replay's reference self-check
-// (<= 0 means DefaultAnalyticTolerance). Alongside the panels it returns
-// one AnalyticReport per variant.
-func Figure3Analytic(scale apps.Scale, opts Figure3Options, tol float64) ([]Figure3Panel, []AnalyticReport, error) {
+// latency/bandwidth cell analytically — the whole panel in one batched
+// multi-point pass per variant (a.Scalar falls back to the point-at-a-time
+// loop). Baselines are simulated through the cache as usual. a.Tolerance
+// bounds the matched replay's reference self-check. Alongside the panels
+// it returns one AnalyticReport per variant.
+func Figure3Analytic(scale apps.Scale, opts Figure3Options, a AnalyticOptions) ([]Figure3Panel, []AnalyticReport, error) {
 	if opts.WAN != nil && !opts.WAN.IsClique() {
 		// The replay model charges one wide-area leg per cross-cluster
 		// message; multi-hop routes and forwarding contention are invisible
@@ -260,7 +325,7 @@ func Figure3Analytic(scale apps.Scale, opts Figure3Options, tol float64) ([]Figu
 			ev, fail, rep, err := analyticEval(label, Experiment{
 				App: va.app, Scale: scale, Optimized: va.opt, Topo: topo,
 				Params: ReferenceParams(),
-			}, opts.Policy, cache, tol)
+			}, opts.Policy, cache, a)
 			if err != nil {
 				return err
 			}
@@ -290,48 +355,51 @@ func Figure3Analytic(scale apps.Scale, opts Figure3Options, tol float64) ([]Figu
 		return panels, reports, err
 	}
 
-	// Phase 2: solve the grid. The graph is read-only, so each task gets a
-	// private evaluator and the cells spread across the pool like simulated
-	// cells would — one task per panel row, plus one per variant for the
-	// latency-tolerance curve (row -1). Within a variant, rows and curve
-	// write disjoint state.
-	type solveTask struct{ v, row int }
-	var tasks []solveTask
+	// Phase 2: solve the grids. The graph is read-only and every point is
+	// independent, so one task per variant hands its whole panel — every
+	// latency/bandwidth cell plus the latency-tolerance curve at the
+	// reference bandwidth — to the batched multi-point solver in a single
+	// pass. Variants still spread across the pool, heaviest graphs first.
+	var live []int
 	for v := range variants {
-		if graphs[v] == nil {
-			continue
+		if graphs[v] != nil {
+			live = append(live, v)
 		}
-		for i := range lats {
-			tasks = append(tasks, solveTask{v, i})
-		}
-		tasks = append(tasks, solveTask{v, -1})
 	}
-	err = forEachWeighted(len(tasks),
-		func(k int) float64 { return float64(graphs[tasks[k].v].Nodes()) },
+	err = forEachWeighted(len(live),
+		func(k int) float64 { return float64(graphs[live[k]].Nodes()) },
 		func(k int) string {
-			t := tasks[k]
-			return fmt.Sprintf("%s (%s) analytic solve", variants[t.v].app.Name, variantName(variants[t.v].opt))
+			v := live[k]
+			return fmt.Sprintf("%s (%s) analytic solve", variants[v].app.Name, variantName(variants[v].opt))
 		},
 		func(k int) error {
-			t := tasks[k]
-			ev := analytic.NewEval(graphs[t.v])
-			solve := analyticSolver(ev, reports[t.v])
-			tl := baselines[t.v]
-			if t.row < 0 {
-				rep := &reports[t.v]
-				for _, lat := range Latencies {
-					pred := solve(network.DefaultParams().WithWAN(lat, ReferenceWANBandwidth))
-					rel := RelativeSpeedup(tl, pred)
-					rep.LatencyTolerance = append(rep.LatencyTolerance, AnalyticTolerancePoint{Latency: lat, RelPct: rel})
-					if rel >= 60 {
-						rep.ToleratedLatency = lat
-					}
+			v := live[k]
+			ev := analytic.NewEval(graphs[v])
+			solve := analyticGridSolver(ev, reports[v], a)
+			pts := make([]network.Params, 0, len(lats)*len(bws)+len(Latencies))
+			for _, lat := range lats {
+				for _, bw := range bws {
+					pts = append(pts, network.DefaultParams().WithWAN(lat, bw))
 				}
-				return nil
 			}
-			for j, bw := range bws {
-				pred := solve(network.DefaultParams().WithWAN(lats[t.row], bw))
-				panels[t.v].Rel[t.row][j] = RelativeSpeedup(tl, pred)
+			for _, lat := range Latencies {
+				pts = append(pts, network.DefaultParams().WithWAN(lat, ReferenceWANBandwidth))
+			}
+			ts := solve(pts)
+			tl := baselines[v]
+			for i := range lats {
+				for j := range bws {
+					panels[v].Rel[i][j] = RelativeSpeedup(tl, ts[i*len(bws)+j])
+				}
+			}
+			rep := &reports[v]
+			curve := ts[len(lats)*len(bws):]
+			for k, lat := range Latencies {
+				rel := RelativeSpeedup(tl, curve[k])
+				rep.LatencyTolerance = append(rep.LatencyTolerance, AnalyticTolerancePoint{Latency: lat, RelPct: rel})
+				if rel >= 60 {
+					rep.ToleratedLatency = lat
+				}
 			}
 			return nil
 		})
@@ -341,16 +409,16 @@ func Figure3Analytic(scale apps.Scale, opts Figure3Options, tol float64) ([]Figu
 // Figure4AnalyticBandwidth is Figure4Bandwidth answered analytically from
 // the per-application reference graphs (best variant of each application,
 // as in the simulated figure).
-func Figure4AnalyticBandwidth(scale apps.Scale, pol *RunPolicy, tol float64) ([]Figure4Curve, error) {
-	return figure4Analytic(scale, true, pol, tol)
+func Figure4AnalyticBandwidth(scale apps.Scale, pol *RunPolicy, a AnalyticOptions) ([]Figure4Curve, error) {
+	return figure4Analytic(scale, true, pol, a)
 }
 
 // Figure4AnalyticLatency is Figure4Latency answered analytically.
-func Figure4AnalyticLatency(scale apps.Scale, pol *RunPolicy, tol float64) ([]Figure4Curve, error) {
-	return figure4Analytic(scale, false, pol, tol)
+func Figure4AnalyticLatency(scale apps.Scale, pol *RunPolicy, a AnalyticOptions) ([]Figure4Curve, error) {
+	return figure4Analytic(scale, false, pol, a)
 }
 
-func figure4Analytic(scale apps.Scale, byBandwidth bool, pol *RunPolicy, tol float64) ([]Figure4Curve, error) {
+func figure4Analytic(scale apps.Scale, byBandwidth bool, pol *RunPolicy, a AnalyticOptions) ([]Figure4Curve, error) {
 	const fixedLatency = 3300 * sim.Microsecond
 	const fixedBandwidth = 0.9e6
 	base := NewBaselines(scale)
@@ -364,11 +432,10 @@ func figure4Analytic(scale apps.Scale, byBandwidth bool, pol *RunPolicy, tol flo
 			ev, fail, rep, err := analyticEval(label, Experiment{
 				App: app, Scale: scale, Optimized: app.HasOptimized,
 				Topo: topology.DAS(), Params: ReferenceParams(),
-			}, pol, DefaultCache, tol)
+			}, pol, DefaultCache, a)
 			if err != nil {
 				return err
 			}
-			solve := analyticSolver(ev, rep)
 			tl, err := base.SingleCluster(app, topology.DAS().Procs())
 			if err != nil {
 				return err
@@ -382,14 +449,20 @@ func figure4Analytic(scale apps.Scale, byBandwidth bool, pol *RunPolicy, tol flo
 					xs = append(xs, l.Milliseconds())
 				}
 			}
+			var preds []sim.Time
+			if fail == nil {
+				pts := make([]network.Params, len(xs))
+				for k := range xs {
+					if byBandwidth {
+						pts[k] = network.DefaultParams().WithWAN(fixedLatency, xs[k])
+					} else {
+						pts[k] = network.DefaultParams().WithWAN(Latencies[k], fixedBandwidth)
+					}
+				}
+				preds = analyticGridSolver(ev, rep, a)(pts)
+			}
 			anyFailed := false
 			for k, x := range xs {
-				params := network.DefaultParams()
-				if byBandwidth {
-					params = params.WithWAN(fixedLatency, x)
-				} else {
-					params = params.WithWAN(Latencies[k], fixedBandwidth)
-				}
 				curve.X = append(curve.X, x)
 				if fail != nil {
 					anyFailed = true
@@ -397,7 +470,7 @@ func figure4Analytic(scale apps.Scale, byBandwidth bool, pol *RunPolicy, tol flo
 					curve.Failed = append(curve.Failed, fail.Kind)
 					continue
 				}
-				curve.CommPct = append(curve.CommPct, CommTimePercent(tl, solve(params)))
+				curve.CommPct = append(curve.CommPct, CommTimePercent(tl, preds[k]))
 				curve.Failed = append(curve.Failed, "")
 			}
 			if !anyFailed {
@@ -412,7 +485,7 @@ func figure4Analytic(scale apps.Scale, byBandwidth bool, pol *RunPolicy, tol flo
 // ClusterShapeStudyAnalytic is ClusterShapeStudy answered analytically:
 // one recording per (application, shape) at the reference point, then an
 // analytic solve at the asked wide-area setting.
-func ClusterShapeStudyAnalytic(scale apps.Scale, appNames []string, wanLatency sim.Time, wanBandwidth float64, pol *RunPolicy, tol float64) ([]ShapeResult, error) {
+func ClusterShapeStudyAnalytic(scale apps.Scale, appNames []string, wanLatency sim.Time, wanBandwidth float64, pol *RunPolicy, a AnalyticOptions) ([]ShapeResult, error) {
 	base := NewBaselines(scale)
 	shapes := DefaultShapes()
 	var suite []apps.Info
@@ -444,7 +517,7 @@ func ClusterShapeStudyAnalytic(scale apps.Scale, appNames []string, wanLatency s
 		ev, fail, rep, err := analyticEval(label(k), Experiment{
 			App: app, Scale: scale, Optimized: app.HasOptimized, Topo: topo,
 			Params: ReferenceParams(),
-		}, pol, DefaultCache, tol)
+		}, pol, DefaultCache, a)
 		if err != nil {
 			return err
 		}
@@ -459,7 +532,7 @@ func ClusterShapeStudyAnalytic(scale apps.Scale, appNames []string, wanLatency s
 		if err != nil {
 			return err
 		}
-		pred := analyticSolver(ev, rep)(network.DefaultParams().WithWAN(wanLatency, wanBandwidth))
+		pred := analyticGridSolver(ev, rep, a)([]network.Params{network.DefaultParams().WithWAN(wanLatency, wanBandwidth)})[0]
 		results[k] = ShapeResult{
 			App:      app.Name,
 			Shape:    topo.String(),

@@ -287,7 +287,7 @@ func TestAnalyticDifferential(t *testing.T) {
 				App: app, Scale: apps.Small, Optimized: g.Optimized,
 				Topo: topology.DAS(), Params: ReferenceParams(),
 			}
-			ev, fail, rep, err := analyticEval(goldenName(g)+" differential", x, nil, NewRunCache(), 0)
+			ev, fail, rep, err := analyticEval(goldenName(g)+" differential", x, nil, NewRunCache(), AnalyticOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -316,5 +316,77 @@ func TestAnalyticDifferential(t *testing.T) {
 			t.Logf("engine %s, worst error %.2f%% over %d points (bound %.0f%%)",
 				rep.Engine, worst, len(points), bound)
 		})
+	}
+}
+
+// TestAnalyticBatchEqualsScalar pins the batched grid path against the
+// point-at-a-time loop on every golden variant: the recorded graph solved
+// over the full paper grid by SolveBatch and SolveMatchedBatch must be
+// bit-identical to scalar Solve and SolveMatched at each point.
+func TestAnalyticBatchEqualsScalar(t *testing.T) {
+	var grid []network.Params
+	for _, lat := range Latencies {
+		for _, bw := range Bandwidths {
+			grid = append(grid, network.DefaultParams().WithWAN(lat, bw))
+		}
+	}
+	for _, g := range GoldenRuns {
+		g := g
+		t.Run(goldenName(g), func(t *testing.T) {
+			t.Parallel()
+			x := goldenExperiment(t, g)
+			rec := analytic.NewRecorder(x.Topo, x.Params)
+			x.Trace = rec
+			res, err := x.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			graph, err := rec.Finish(res.Elapsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar := analytic.NewEval(graph)
+			wantF := make([]sim.Time, len(grid))
+			wantM := make([]sim.Time, len(grid))
+			for i, p := range grid {
+				wantF[i] = scalar.Solve(p)
+				wantM[i] = scalar.SolveMatched(p)
+			}
+			batch := analytic.NewEval(graph)
+			gotF := batch.SolveBatch(grid)
+			gotM := batch.SolveMatchedBatch(grid, 3)
+			for i := range grid {
+				if gotF[i] != wantF[i] {
+					t.Errorf("SolveBatch point %d (%v / %.3g B/s): %d, scalar %d",
+						i, grid[i].WANLatency, grid[i].WANBandwidth, gotF[i], wantF[i])
+				}
+				if gotM[i] != wantM[i] {
+					t.Errorf("SolveMatchedBatch point %d (%v / %.3g B/s): %d, scalar %d",
+						i, grid[i].WANLatency, grid[i].WANBandwidth, gotM[i], wantM[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFigure3AnalyticBatchMatchesScalar runs the full analytic Figure 3
+// pipeline twice against one shared cache — batched solver and scalar
+// fallback — and requires identical panels and reports, end to end.
+func TestFigure3AnalyticBatchMatchesScalar(t *testing.T) {
+	cache := NewRunCache()
+	opts := Figure3Options{Apps: []string{"Water", "TSP"}, Cache: cache}
+	bPanels, bReports, err := Figure3Analytic(apps.Tiny, opts, AnalyticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPanels, sReports, err := Figure3Analytic(apps.Tiny, opts, AnalyticOptions{Scalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bPanels, sPanels) {
+		t.Errorf("batched and scalar panels differ:\nbatched: %+v\nscalar:  %+v", bPanels, sPanels)
+	}
+	if !reflect.DeepEqual(bReports, sReports) {
+		t.Errorf("batched and scalar reports differ:\nbatched: %+v\nscalar:  %+v", bReports, sReports)
 	}
 }

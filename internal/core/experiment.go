@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -294,11 +295,21 @@ func forEachWeighted(n int, weight func(i int) float64, label func(i int) string
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := fn(i); err != nil && label != nil {
-				errs[i] = fmt.Errorf("%s: %w", label(i), err)
+			var err error
+			if label != nil {
+				// The cell identity doubles as a pprof label, so a
+				// -cpuprofile of a sweep attributes samples per cell
+				// (`pprof -tagfocus`) instead of one flat pool.
+				pprof.Do(context.Background(), pprof.Labels("cell", label(i)), func(context.Context) {
+					err = fn(i)
+				})
+				if err != nil {
+					err = fmt.Errorf("%s: %w", label(i), err)
+				}
 			} else {
-				errs[i] = err
+				err = fn(i)
 			}
+			errs[i] = err
 		}()
 	}
 	wg.Wait()
