@@ -61,8 +61,13 @@ func run() int {
 	sup := cliutil.RegisterSupervision("")
 	workers := cliutil.RegisterWorkers()
 	wanSpec := cliutil.RegisterWANTopology()
+	regimeFl := cliutil.RegisterRegime()
 	flag.Parse()
 	if err := cliutil.ApplyWorkers(*workers); err != nil {
+		return usage(err)
+	}
+	rp, err := regimeFl.Params()
+	if err != nil {
 		return usage(err)
 	}
 
@@ -139,6 +144,7 @@ func run() int {
 		Outages:      outages,
 		OutagePeriod: sim.Time((*period).Nanoseconds()),
 		Seed:         *seed,
+		Regime:       rp,
 		Cache:        cache,
 		Policy:       pol,
 	}
@@ -159,6 +165,9 @@ func run() int {
 	if !wan.IsClique() {
 		fmt.Printf("wide-area graph: %s (diameter %d, mean path %.2f hops)\n",
 			wan.Spec(), wan.Diameter(), wan.MeanPathLength())
+	}
+	if rp.Enabled() {
+		fmt.Printf("regime overlay: %s (seed %d)\n", rp.Spec, rp.Seed)
 	}
 	fmt.Printf("grid: loss rates %v, outage durations %v per %v period (%d runs)\n\n",
 		drops, outages, *period, len(points))

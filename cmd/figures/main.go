@@ -14,7 +14,10 @@
 //	figures -topology          # Section 5.1 re-asked on generated wide-area
 //	                           # graphs (clique vs torus vs circulant)
 //	figures -heatmap           # dense analytic sensitivity heatmap (CSV)
-//	figures -all               # everything (except -topology and -heatmap)
+//	figures -regimes           # dynamic-regime robustness study: calm vs
+//	                           # static vs adaptive runtimes (-csv for CSV)
+//	figures -all               # everything (except -topology, -heatmap and
+//	                           # -regimes)
 //
 // Options: -scale tiny|small|paper (default paper), -apps Water,FFT,...,
 // -csv for machine-readable Figure 3 output.
@@ -47,6 +50,7 @@ import (
 	"twolayer/internal/cliutil"
 	"twolayer/internal/core"
 	"twolayer/internal/network"
+	"twolayer/internal/regime"
 	"twolayer/internal/sim"
 	"twolayer/internal/stats"
 )
@@ -70,6 +74,7 @@ func run() int {
 		topoCl   = flag.String("topology-clusters", "", "comma-separated cluster counts for -topology (default 16,32,64)")
 		topoSp   = flag.String("topology-specs", "", "comma-separated wide-area graph specs for -topology (default clique,torus2,circulant)")
 		topoPr   = flag.Int("topology-procs", 0, "total processors for -topology (default 128; every cluster count must divide it)")
+		regimesF = flag.Bool("regimes", false, "dynamic-regime robustness study: calm vs static vs adaptive runtimes under time-varying wide-area conditions")
 		heatmap  = flag.Bool("heatmap", false, "dense per-variant sensitivity heatmap on log-spaced axes (analytic, CSV to stdout)")
 		heatSize = flag.Int("heatmap-size", core.DefaultHeatmapSize, "heatmap cells per axis")
 		scaleF   = flag.String("scale", "paper", "problem scale: tiny, small or paper")
@@ -83,6 +88,7 @@ func run() int {
 	workers := cliutil.RegisterWorkers()
 	analytic := cliutil.RegisterAnalytic()
 	wanSpec := cliutil.RegisterWANTopology()
+	regimeFl := cliutil.RegisterRegime()
 	flag.Parse()
 	if err := cliutil.ApplyWorkers(*workers); err != nil {
 		return usage(err)
@@ -93,6 +99,13 @@ func run() int {
 	scale, err := parseScale(*scaleF)
 	if err != nil {
 		return usage(err)
+	}
+	rp, err := regimeFl.Params()
+	if err != nil {
+		return usage(err)
+	}
+	if rp.Enabled() && !*regimesF {
+		return usage(fmt.Errorf("-regime selects the scenario for the -regimes study; pass -regimes"))
 	}
 	pol, cleanup, err := sup.Policy()
 	if err != nil {
@@ -120,6 +133,14 @@ func run() int {
 		filter = strings.Split(*appsF, ",")
 		for i, name := range filter {
 			filter[i] = strings.TrimSpace(name)
+			if *regimesF {
+				// The regimes study accepts one extra workload (Collectives)
+				// beyond the paper suite.
+				if _, err := core.RegimeAppByName(filter[i]); err != nil {
+					return usage(err)
+				}
+				continue
+			}
 			if _, err := core.AppByName(filter[i]); err != nil {
 				return usage(err)
 			}
@@ -305,6 +326,33 @@ func run() int {
 		} else {
 			fmt.Println("Wide-area topology study (fixed processor total, 3.3 ms / 0.95 MByte/s WAN):")
 			fmt.Println(core.RenderTopologyStudy(points))
+		}
+	}
+	if *regimesF {
+		ran = true
+		if analytic.Enabled {
+			return usage(fmt.Errorf("-analytic needs stationary network conditions; it cannot model -regimes"))
+		}
+		rcfg := core.RegimeStudyConfig{
+			Scale:  scale,
+			Cache:  core.DefaultCache,
+			Policy: pol,
+		}
+		if rp.Enabled() {
+			rcfg.Regimes = []regime.Params{rp}
+		}
+		if filter != nil {
+			rcfg.Apps = filter
+		}
+		points, err := core.RegimeStudy(rcfg)
+		if err != nil {
+			return fail(err)
+		}
+		if *csv {
+			core.WriteRegimeCSV(os.Stdout, points)
+		} else {
+			fmt.Println("Dynamic-regime robustness study (4x8 machine, 3.3 ms / 0.95 MByte/s calm WAN):")
+			fmt.Println(core.RenderRegimeStudy(points))
 		}
 	}
 	if !ran {

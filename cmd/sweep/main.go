@@ -55,16 +55,28 @@ func run() int {
 		cacheDir   = flag.String("cache-dir", "results/cache", "persistent run-cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache")
 	)
+	adaptive := flag.Bool("adaptive", false, "let the runtime adapt to the -regime (transport tuning, collective switching, churn-aware stealing)")
 	sup := cliutil.RegisterSupervision("")
 	workers := cliutil.RegisterWorkers()
 	analytic := cliutil.RegisterAnalytic()
 	wanSpec := cliutil.RegisterWANTopology()
+	regimeFl := cliutil.RegisterRegime()
 	flag.Parse()
 	if err := cliutil.ApplyWorkers(*workers); err != nil {
 		return usage(err)
 	}
 	if err := analytic.Validate(); err != nil {
 		return usage(err)
+	}
+	rp, err := regimeFl.Params()
+	if err != nil {
+		return usage(err)
+	}
+	if *adaptive && !rp.Enabled() {
+		return usage(fmt.Errorf("-adaptive requires -regime"))
+	}
+	if rp.Enabled() && analytic.Enabled {
+		return usage(fmt.Errorf("-analytic needs stationary network conditions; it cannot model a -regime"))
 	}
 
 	if *bandwidth <= 0 {
@@ -142,6 +154,7 @@ func run() int {
 	x := core.Experiment{
 		App: app, Scale: scale, Optimized: *optimized,
 		Topo: topo, Params: params, WAN: wan, Verify: *verify,
+		Regime: rp, Adaptive: *adaptive,
 	}
 	if analytic.Enabled {
 		if *jitter > 0 || *bwVar > 0 {
@@ -216,6 +229,9 @@ func run() int {
 	if !wan.IsClique() {
 		fmt.Printf("wide-area graph:    %s (diameter %d, mean path %.2f hops, %d bisection links)\n",
 			wan.Spec(), wan.Diameter(), wan.MeanPathLength(), wan.BisectionLinks())
+	}
+	if rp.Enabled() {
+		fmt.Printf("regime:             %s (seed %d, adaptive=%v)\n", rp.Spec, rp.Seed, *adaptive)
 	}
 	fmt.Printf("runtime:            %v (single cluster: %v)\n", res.Elapsed, tl)
 	fmt.Printf("relative speedup:   %.1f%% of the all-fast-network run\n", core.RelativeSpeedup(tl, res.Elapsed))

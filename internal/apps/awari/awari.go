@@ -246,19 +246,73 @@ func (a *Awari) run(e *par.Env, optimized bool) {
 		pending := localPending
 		localPending = nil
 		queued = false
+		procIdx := 0 // prefix of pending already processed (adaptive overlap)
+
+		// overlapStep processes one batch of already-received updates; an
+		// adaptive run calls it while waiting for slow wide-area messages,
+		// overlapping this round's mandatory processing with regime-inflated
+		// message latency. Updates are processed in the same prefix order as
+		// the static program (within-round processing is order-independent
+		// anyway: a state's counter reaches zero only when every successor
+		// reported Win, which excludes any pending Loss for it), and the
+		// total compute charged is identical — it just runs during waits.
+		overlapStep := func() bool {
+			if procIdx >= len(pending) {
+				return false
+			}
+			batch := len(pending) - procIdx
+			if batch > 64 {
+				batch = 64
+			}
+			e.ComputeUnits(int64(batch), cfg.UpdateCost)
+			for _, u := range pending[procIdx : procIdx+batch] {
+				process(u)
+			}
+			procIdx += batch
+			return true
+		}
+		// recvN receives count messages matching (from, tag). Statically it
+		// blocks like the original code; adaptively it polls and fills the
+		// wait with overlapStep, falling back to a blocking receive only
+		// when no processing work remains (so it never spins).
+		adaptive := e.Adaptive()
+		recvN := func(count, from int, tag par.Tag, each func(par.Msg)) {
+			for got := 0; got < count; got++ {
+				if adaptive {
+					polled := false
+					for {
+						if m, ok := e.TryRecv(from, tag); ok {
+							each(m)
+							polled = true
+							break
+						}
+						if !overlapStep() {
+							break
+						}
+					}
+					if polled {
+						continue
+					}
+				}
+				if from == par.AnySender {
+					each(e.Recv(tag))
+				} else {
+					each(e.RecvFrom(from, tag))
+				}
+			}
+		}
+		addData := func(m par.Msg) {
+			pending = append(pending, m.Data.([]update)...)
+		}
 
 		if !optimized {
-			for i := 0; i < p-1; i++ {
-				m := e.Recv(dataTag)
-				pending = append(pending, m.Data.([]update)...)
-			}
+			recvN(p-1, par.AnySender, dataTag, addData)
 		} else {
 			// Coordinator duty first: unpack remote bundles and forward one
 			// combined message per member.
 			if r == coord {
 				perMember := make(map[int][]update)
-				for i := 0; i < p-len(peers); i++ {
-					m := e.Recv(bundleTag)
+				recvN(p-len(peers), par.AnySender, bundleTag, func(m par.Msg) {
 					bm := m.Data.(bundleMsg)
 					for j, u := range bm.updates {
 						d := bm.dests[j]
@@ -268,7 +322,7 @@ func (a *Awari) run(e *par.Env, optimized bool) {
 							perMember[d] = append(perMember[d], u)
 						}
 					}
-				}
+				})
 				for _, d := range peers {
 					if d == r {
 						continue
@@ -276,20 +330,17 @@ func (a *Awari) run(e *par.Env, optimized bool) {
 					e.Send(d, fwdTag, perMember[d], bytesFor(len(perMember[d])))
 				}
 			}
-			for i := 0; i < len(peers)-1; i++ {
-				m := e.Recv(dataTag)
-				pending = append(pending, m.Data.([]update)...)
-			}
+			recvN(len(peers)-1, par.AnySender, dataTag, addData)
 			if r != coord {
-				m := e.RecvFrom(coord, fwdTag)
-				pending = append(pending, m.Data.([]update)...)
+				recvN(1, coord, fwdTag, addData)
 			}
 		}
 
 		// Charge processing once per batch (one context switch instead of
-		// thousands), then apply the updates.
-		e.ComputeUnits(int64(len(pending)), cfg.UpdateCost)
-		for _, u := range pending {
+		// thousands), then apply the updates (minus any prefix an adaptive
+		// run already overlapped with the receives above).
+		e.ComputeUnits(int64(len(pending)-procIdx), cfg.UpdateCost)
+		for _, u := range pending[procIdx:] {
 			process(u)
 		}
 

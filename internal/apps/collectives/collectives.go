@@ -1,0 +1,112 @@
+// Package collectives is a collective-communication workload: rounds of
+// compute followed by an Allreduce over all ranks, the bulk-synchronous
+// skeleton shared by most of the paper's applications reduced to its
+// communication essence. It exists for the dynamic-regime study (it is not
+// part of the paper's six-application suite and never appears in the
+// Table 1 / Figure 3 reproductions): the unoptimized variant runs the flat
+// MPICH-era algorithms, the optimized variant the MagPIe-style hierarchy,
+// and under Options.Adaptive the communicator re-measures the wide-area gap
+// as it drifts and switches family at runtime (collective.NewAdaptive).
+package collectives
+
+import (
+	"fmt"
+
+	"twolayer/internal/apps"
+	"twolayer/internal/collective"
+	"twolayer/internal/par"
+	"twolayer/internal/sim"
+)
+
+// Config sizes a run.
+type Config struct {
+	// Rounds is the number of compute+Allreduce iterations.
+	Rounds int
+	// VecLen is the reduced vector's element count.
+	VecLen int
+	// ComputePerRound is the virtual compute time charged per round.
+	ComputePerRound sim.Time
+	// ProbeEvery is the adaptive communicator's probe interval in collective
+	// calls; 0 uses the collective package default.
+	ProbeEvery int
+}
+
+// Info is the registry entry. The app is deliberately not in core.Apps():
+// the paper's tables cover exactly six applications.
+var Info = apps.Info{
+	Name:         "Collectives",
+	Pattern:      "Allreduce rounds",
+	Optimization: "hierarchical (MagPIe) algorithms",
+	HasOptimized: true,
+	New:          func(s apps.Scale, procs int) apps.Instance { return New(ConfigFor(s), procs) },
+}
+
+// ConfigFor returns the configuration for a scale.
+func ConfigFor(s apps.Scale) Config {
+	switch s {
+	case apps.Tiny:
+		return Config{Rounds: 6, VecLen: 64, ComputePerRound: 200 * sim.Microsecond}
+	case apps.Small:
+		return Config{Rounds: 24, VecLen: 256, ComputePerRound: 500 * sim.Microsecond}
+	default:
+		return Config{Rounds: 80, VecLen: 1024, ComputePerRound: 2 * sim.Millisecond}
+	}
+}
+
+// App is one configured instance.
+type App struct {
+	cfg   Config
+	procs int
+	// got[rank*Rounds+r] is rank's Allreduce result for round r. Each rank
+	// writes only its own stripe, so no locking is needed.
+	got []float64
+}
+
+// New builds an instance for the given processor count.
+func New(cfg Config, procs int) *App {
+	return &App{cfg: cfg, procs: procs, got: make([]float64, procs*cfg.Rounds)}
+}
+
+// Job returns the SPMD body. Unoptimized runs the flat family, optimized
+// the hierarchical family; an adaptive run (Env.Adaptive) starts from that
+// same static choice and lets the communicator re-decide as the measured
+// gap drifts.
+func (a *App) Job(optimized bool) par.Job {
+	return func(e *par.Env) {
+		style := collective.Flat
+		if optimized {
+			style = collective.Hierarchical
+		}
+		var c *collective.Comm
+		if e.Adaptive() {
+			c = collective.NewAdaptive(e, style, a.cfg.ProbeEvery)
+		} else {
+			c = collective.New(e, style)
+		}
+		rank := e.Rank()
+		vec := make([]float64, a.cfg.VecLen)
+		for r := 0; r < a.cfg.Rounds; r++ {
+			e.Compute(a.cfg.ComputePerRound)
+			for i := range vec {
+				vec[i] = float64(rank + r)
+			}
+			out := c.Allreduce(vec, collective.Sum)
+			a.got[rank*a.cfg.Rounds+r] = out[0]
+		}
+	}
+}
+
+// Check verifies every rank's every round against the closed form:
+// sum over ranks of (rank + r) = n(n-1)/2 + n*r.
+func (a *App) Check() error {
+	n := a.procs
+	for rank := 0; rank < n; rank++ {
+		for r := 0; r < a.cfg.Rounds; r++ {
+			want := float64(n*(n-1)/2 + n*r)
+			if got := a.got[rank*a.cfg.Rounds+r]; got != want {
+				return fmt.Errorf("collectives: rank %d round %d got %g, want %g", rank, r, got, want)
+			}
+		}
+	}
+	return nil
+}

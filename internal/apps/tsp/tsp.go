@@ -242,6 +242,8 @@ func (t *TSP) runServer(e *par.Env, d [][]int32, minOut []int32, cutoff int32, s
 		outstanding    int           // steal requests in flight this round
 		roundGain      bool          // whether the current steal round got jobs
 		fruitlessRound bool          // a full round completed with no gain
+		restricted     bool          // current round skipped churned-out peers
+		forceFull      bool          // next round must probe every live peer
 		doneSelf       bool
 		doneTold       int // local workers that received the done reply
 		peerDone       = map[int]bool{}
@@ -295,6 +297,29 @@ func (t *TSP) runServer(e *par.Env, d [][]int32, minOut []int32, cutoff int32, s
 			becomeDone()
 			return
 		}
+		// Churn-aware victim selection: under an adaptive regime with
+		// whole-cluster churn, skip peers whose cluster is churned out right
+		// now — a steal request there just sits in the reliable transport
+		// until the rejoin while local workers starve. A restricted round
+		// can never declare the work gone (the skipped peer may hold jobs),
+		// so a fruitless restricted round forces the next one to probe the
+		// full peer set; termination still requires a fruitless full round,
+		// exactly as in the static program.
+		restricted = false
+		if forceFull {
+			forceFull = false
+		} else if e.Adaptive() && e.RegimeHasChurn() && !e.ClusterDown(e.Cluster()) {
+			var live []int
+			for _, s := range targets {
+				if !e.ClusterDown(e.Topology().ClusterOf(s)) {
+					live = append(live, s)
+				}
+			}
+			if len(live) > 0 && len(live) < len(targets) {
+				targets = live
+				restricted = true
+			}
+		}
 		roundGain = false
 		for _, s := range targets {
 			e.Send(s, tagSteal, par.Request{ReplyTo: e.Rank(), ReplyTag: tagStealReply}, 32)
@@ -339,7 +364,11 @@ func (t *TSP) runServer(e *par.Env, d [][]int32, minOut []int32, cutoff int32, s
 				roundGain = true
 			}
 			if outstanding == 0 && !roundGain {
-				fruitlessRound = true
+				if restricted {
+					forceFull = true // the skipped, churned-out peer may hold jobs
+				} else {
+					fruitlessRound = true
+				}
 			}
 		case tagServerDone:
 			peerDone[m.From] = true

@@ -7,6 +7,7 @@ import (
 	"twolayer/internal/apps"
 	"twolayer/internal/faults"
 	"twolayer/internal/network"
+	"twolayer/internal/regime"
 	"twolayer/internal/sim"
 	"twolayer/internal/stats"
 	"twolayer/internal/topology"
@@ -55,6 +56,10 @@ type ChaosConfig struct {
 	OutagePeriod sim.Time
 	// Seed drives the fault plan (default DefaultSeed).
 	Seed int64
+	// Regime overlays a deterministic time-varying regime (see package
+	// regime) on top of the fault grid; the zero value keeps the study — and
+	// its CSV — byte-identical to a regime-free one.
+	Regime regime.Params
 	// Cache memoizes runs; nil disables memoization.
 	Cache *RunCache
 	// Policy supervises the sweep: budgets and deadlines bound each cell,
@@ -138,6 +143,9 @@ func chaosVariants() []struct {
 // drop rate, then outage duration.
 func ChaosStudy(cfg ChaosConfig) ([]ChaosPoint, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Regime.Validate(); err != nil {
+		return nil, err
+	}
 	base := NewBaselinesCached(cfg.Scale, cfg.Cache)
 	variants := chaosVariants()
 	points := make([]ChaosPoint, len(variants)*len(cfg.Drops)*len(cfg.Outages))
@@ -175,6 +183,7 @@ func ChaosStudy(cfg ChaosConfig) ([]ChaosPoint, error) {
 			res, fail, err := cfg.Policy.run(label(i), Experiment{
 				App: v.app, Scale: cfg.Scale, Optimized: v.opt,
 				Topo: cfg.Topo, Params: cfg.Params, WAN: cfg.WAN, Faults: f,
+				Regime: cfg.Regime,
 			}, cfg.Cache)
 			if err != nil {
 				return err

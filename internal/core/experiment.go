@@ -25,6 +25,7 @@ import (
 	"twolayer/internal/faults"
 	"twolayer/internal/network"
 	"twolayer/internal/par"
+	"twolayer/internal/regime"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
@@ -92,6 +93,15 @@ type Experiment struct {
 	// wide-area traffic through the reliable transport and remain fully
 	// deterministic, so they cache like any other run.
 	Faults faults.Params
+	// Regime applies a deterministic time-varying network regime (diurnal
+	// load, congestion, whole-cluster churn; see package regime). The zero
+	// value leaves the run byte-identical to a regime-free one. Regime runs
+	// are fully deterministic and cache like any other run.
+	Regime regime.Params
+	// Adaptive lets the runtime layers and applications adapt to the regime
+	// (measured-RTT transport tuning, collective style switching,
+	// churn-aware work stealing). Meaningless without a Regime.
+	Adaptive bool
 	// Budget bounds the run (event/virtual-time ceilings, livelock
 	// watchdog). Budgets are pure supervision: a run that completes within
 	// them is bit-identical to an unbudgeted one, so Budget is deliberately
@@ -152,6 +162,8 @@ func (x Experiment) Run() (par.Result, error) {
 		Configure: x.Configure,
 		Trace:     x.Trace,
 		Faults:    x.Faults,
+		Regime:    x.Regime,
+		Adaptive:  x.Adaptive,
 		Budget:    x.Budget,
 		Workers:   x.workers(),
 	}, inst.Job(x.Optimized))

@@ -9,6 +9,7 @@ import (
 	"twolayer/internal/faults"
 	"twolayer/internal/network"
 	"twolayer/internal/par"
+	"twolayer/internal/regime"
 	"twolayer/internal/sim"
 )
 
@@ -33,6 +34,11 @@ type RunKey struct {
 	// fault-free JSON encoding — and therefore every existing on-disk cache
 	// entry's content address — byte-identical to the pre-fault format.
 	Faults faults.Params `json:",omitzero"`
+	// Regime and Adaptive extend the key for dynamic-regime runs; omitzero
+	// preserves every regime-free entry's content address, exactly like
+	// WANTopo and Faults before them.
+	Regime   regime.Params `json:",omitzero"`
+	Adaptive bool          `json:",omitzero"`
 }
 
 // runEntry is a singleflight slot: the first requester computes, everyone
@@ -214,6 +220,8 @@ func (x Experiment) Key() RunKey {
 		Seed:      DefaultSeed,
 		WANTopo:   x.WAN.CacheKey(),
 		Faults:    x.Faults,
+		Regime:    x.Regime,
+		Adaptive:  x.Adaptive,
 	}
 }
 

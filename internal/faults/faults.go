@@ -21,6 +21,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 
 	"twolayer/internal/sim"
 )
@@ -45,7 +46,9 @@ type Params struct {
 	// OutagePeriod, with a per-link phase derived from the seed so outages
 	// are not fleet-synchronized. Messages attempting the link during an
 	// outage are dropped without occupying it. OutageDuration zero disables
-	// outages.
+	// outages. The duration must be strictly shorter than the period: a
+	// link that is never up is not an outage schedule, it is a dead WAN —
+	// model that as DropRate: 1 instead.
 	OutagePeriod   sim.Time
 	OutageDuration sim.Time
 	// Seed drives every fault stream. Runs with equal seeds inject
@@ -59,15 +62,18 @@ func (p Params) Enabled() bool {
 		(p.OutageDuration > 0 && p.OutagePeriod > 0)
 }
 
-// Validate checks the parameters, rejecting rates outside [0,1], negative
+// Validate checks the parameters, rejecting rates outside [0,1] (NaN
+// included — every comparison against a NaN rate is false, so without the
+// explicit check it would sail through range validation and then poison
+// every per-message threshold comparison into "never fire"), negative
 // durations and seeds, and outage durations that exceed their period (a
 // link that is never up cannot carry acks, so every run would fail its
-// retry cap).
+// retry cap; an always-dead WAN is DropRate 1, not an outage schedule).
 func (p Params) Validate() error {
 	switch {
-	case p.DropRate < 0 || p.DropRate > 1:
+	case math.IsNaN(p.DropRate) || p.DropRate < 0 || p.DropRate > 1:
 		return fmt.Errorf("faults: DropRate %v outside [0,1]", p.DropRate)
-	case p.DupRate < 0 || p.DupRate > 1:
+	case math.IsNaN(p.DupRate) || p.DupRate < 0 || p.DupRate > 1:
 		return fmt.Errorf("faults: DupRate %v outside [0,1]", p.DupRate)
 	case p.ReorderJitter < 0:
 		return fmt.Errorf("faults: negative ReorderJitter %v", p.ReorderJitter)

@@ -35,8 +35,13 @@ func TestValidate(t *testing.T) {
 	}{
 		{"negative drop", func(p *Params) { p.DropRate = -0.1 }, "DropRate"},
 		{"drop above one", func(p *Params) { p.DropRate = 1.01 }, "DropRate"},
+		// NaN compares false against every bound, so the range checks alone
+		// would accept it and every threshold comparison downstream would
+		// silently never fire.
+		{"NaN drop", func(p *Params) { p.DropRate = math.NaN() }, "DropRate"},
 		{"negative dup", func(p *Params) { p.DupRate = -1 }, "DupRate"},
 		{"dup above one", func(p *Params) { p.DupRate = 1.5 }, "DupRate"},
+		{"NaN dup", func(p *Params) { p.DupRate = math.NaN() }, "DupRate"},
 		{"negative jitter", func(p *Params) { p.ReorderJitter = -1 }, "ReorderJitter"},
 		{"negative period", func(p *Params) { p.OutagePeriod = -1 }, "OutagePeriod"},
 		{"negative duration", func(p *Params) { p.OutagePeriod = 0; p.OutageDuration = -1 }, "OutageDuration"},

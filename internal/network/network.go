@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"twolayer/internal/faults"
+	"twolayer/internal/regime"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 	"twolayer/internal/wantopo"
@@ -204,6 +205,9 @@ type Network struct {
 	faults     *faults.Plan
 	faultIdx   []int64 // per directed wide-area link message counter
 	faultStats FaultStats
+
+	// Dynamic regime (see SetRegime); nil when conditions are stationary.
+	regime *regime.Plan
 }
 
 // MsgClass labels a message's role for observers and fault accounting: an
@@ -401,6 +405,20 @@ func (n *Network) send(src, dst int, size int64, class MsgClass, del delivery) {
 
 	sc, dc := n.topo.ClusterOf(src), n.topo.ClusterOf(dst)
 
+	// Cluster churn: traffic to or from a churned-out cluster vanishes at
+	// the source gateway without ever occupying a wide-area link, like a
+	// link outage. The decision is a pure function of (plan, clusters,
+	// virtual time), so every engine — sequential or any shard of a
+	// cluster-parallel run — agrees on it.
+	if n.regime != nil && (n.regime.ClusterDown(sc, localArrive) || n.regime.ClusterDown(dc, localArrive)) {
+		n.faultStats.OutageDropped++
+		if n.observer != nil {
+			n.observer(MessageEvent{Src: src, Dst: dst, Bytes: size, Sent: now,
+				Delivered: localArrive, WAN: true, Class: class, Dropped: true})
+		}
+		return
+	}
+
 	// Fault injection happens where the paper's real system would lose
 	// traffic: at the gateway onto the wide-area link. The intra-cluster
 	// leg above is always reliable.
@@ -459,11 +477,14 @@ func (n *Network) wanLink(edgeID int) *link {
 }
 
 // wanEdgeSpeed returns the effective latency and bandwidth of one wide-area
-// edge for one message. Direct cluster-to-cluster edges go through the
-// legacy per-pair path (SetPairSpeeds overrides, variability draws) so the
-// clique keeps its exact pre-topology behavior; edges touching relay
-// switches scale the global Params.
-func (n *Network) wanEdgeSpeed(e wantopo.Edge) (sim.Time, float64) {
+// edge for one message offered to it at virtual time at. Direct
+// cluster-to-cluster edges go through the legacy per-pair path
+// (SetPairSpeeds overrides, variability draws) so the clique keeps its
+// exact pre-topology behavior; edges touching relay switches scale the
+// global Params. A dynamic regime then scales the result by its
+// time-varying conditions — always degrading (latency up, bandwidth down),
+// which keeps Params.WANLookaheadFor a valid conservative horizon.
+func (n *Network) wanEdgeSpeed(edgeID int, e wantopo.Edge, at sim.Time) (sim.Time, float64) {
 	c := n.topo.Clusters()
 	var lat sim.Time
 	var bw float64
@@ -477,6 +498,15 @@ func (n *Network) wanEdgeSpeed(e wantopo.Edge) (sim.Time, float64) {
 	}
 	if e.BWScale != 1 {
 		bw *= e.BWScale
+	}
+	if n.regime != nil {
+		ls, bs := n.regime.EdgeScale(edgeID, at)
+		if ls != 1 {
+			lat = sim.Time(float64(lat) * ls)
+		}
+		if bs != 1 {
+			bw *= bs
+		}
 	}
 	return lat, bw
 }
@@ -494,7 +524,7 @@ func (n *Network) wanPath(sc, dc int, localArrive sim.Time, size int64) sim.Time
 	ready := localArrive + n.params.WANPerMessage
 	for _, id := range n.wg.Route(sc, dc) {
 		e := n.wg.Edge(int(id))
-		lat, bw := n.wanEdgeSpeed(e)
+		lat, bw := n.wanEdgeSpeed(int(id), e, ready)
 		done := n.wanLink(int(id)).reserveWith(ready, size, bw,
 			sim.Time(float64(2*lat)*n.params.WANMessageRTTFactor))
 		ready = done + lat
@@ -510,7 +540,7 @@ func (n *Network) wanFirstHop(sc, dc int, localArrive sim.Time, size int64) {
 		return
 	}
 	e := n.wg.Edge(int(route[0]))
-	lat, bw := n.wanEdgeSpeed(e)
+	lat, bw := n.wanEdgeSpeed(int(route[0]), e, localArrive+n.params.WANPerMessage)
 	n.wanLink(int(route[0])).reserveWith(localArrive+n.params.WANPerMessage, size, bw,
 		sim.Time(float64(2*lat)*n.params.WANMessageRTTFactor))
 }
@@ -667,6 +697,14 @@ func (n *Network) SetFaults(plan *faults.Plan) {
 		n.faultIdx = make([]int64, c*c)
 	}
 }
+
+// SetRegime installs a dynamic-regime plan on the wide-area links (nil
+// restores stationary conditions). Call before any traffic. The fast
+// intra-cluster network is never regime-modulated. Churn drops count as
+// FaultStats.OutageDropped — a churned-out cluster is an outage of every
+// link touching it — and, like fault injection, require the reliable
+// transport for applications to complete.
+func (n *Network) SetRegime(pl *regime.Plan) { n.regime = pl }
 
 // FaultStats returns the injected-fault counters.
 func (n *Network) FaultStats() FaultStats { return n.faultStats }

@@ -71,6 +71,28 @@ func (e *Env) SameCluster(other int) bool { return e.rt.topo.SameCluster(e.rank,
 // Now returns the current virtual time.
 func (e *Env) Now() sim.Time { return e.p.Now() }
 
+// Adaptive reports whether the run asked the application layers to adapt to
+// a dynamic regime (Options.Adaptive with a regime configured). Static runs
+// — and regime runs measuring the unadapted baseline — return false, and
+// applications must then behave bit-identically to their pre-regime code.
+func (e *Env) Adaptive() bool { return e.rt.adaptive }
+
+// ClusterDown reports whether cluster c is churned out of the wide-area
+// network at the current virtual time. Always false without a regime. The
+// answer is a pure function of (regime, cluster, virtual time), identical
+// on every rank that asks at the same instant — safe ground for collective
+// adaptation decisions.
+func (e *Env) ClusterDown(c int) bool {
+	return e.rt.regime != nil && e.rt.regime.ClusterDown(c, e.p.Now())
+}
+
+// RegimeHasChurn reports whether the active regime includes whole-cluster
+// churn. Adaptive applications use it to skip churn bookkeeping entirely
+// under churn-free regimes.
+func (e *Env) RegimeHasChurn() bool {
+	return e.rt.regime != nil && e.rt.regime.HasChurn()
+}
+
 // Compute charges d of virtual computation time.
 func (e *Env) Compute(d sim.Time) {
 	if tr := e.rt.tracer; tr != nil && d > 0 {

@@ -5,6 +5,7 @@ import (
 
 	"twolayer/internal/faults"
 	"twolayer/internal/network"
+	"twolayer/internal/regime"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
@@ -40,6 +41,20 @@ type Options struct {
 	// Transport tunes the reliable channel; the zero value uses defaults.
 	// Transport.Enabled turns the channel on even without faults.
 	Transport Transport
+	// Regime applies a deterministic time-varying network regime (diurnal
+	// load curves, background-traffic congestion, whole-cluster churn; see
+	// package regime). The zero value disables the dynamic plane and leaves
+	// every code path byte-identical to a regime-free run. Regimes with
+	// churn automatically route wide-area sends through the reliable
+	// transport, like fault injection does.
+	Regime regime.Params
+	// Adaptive lets the runtime layers react to the regime: the reliable
+	// transport tunes its retransmission timeout and window from observed
+	// ack round trips and schedules around known churn windows. It has no
+	// effect without a Regime (static conditions give adaptation nothing to
+	// observe), and applications opt into their own adaptations through
+	// Env.Adaptive.
+	Adaptive bool
 	// Budget bounds the run: virtual-time and event ceilings plus the
 	// livelock watchdog (see sim.Budget). The zero value imposes no limits,
 	// and a run that completes within its budgets is bit-identical to the

@@ -86,6 +86,11 @@ func rtoBase(p network.Params) sim.Time {
 type relFrame struct {
 	m     Msg
 	bytes int64
+	// sentAt is the first-transmission time and retx marks frames that have
+	// been retransmitted since: per Karn's algorithm, only never-resent
+	// frames yield unambiguous round-trip samples for the adaptive timeout.
+	sentAt sim.Time
+	retx   bool
 }
 
 // relSender is the go-back-N sending side for one (source rank, destination
@@ -102,6 +107,16 @@ type relSender struct {
 	timerOn    bool
 	full       sim.Cond
 	failed     bool
+
+	// Adaptive state (Options.Adaptive under a regime; zero and inert
+	// otherwise): Jacobson-smoothed ack round trip and its variance, the
+	// last payload size for the window autotuner's pipe estimate, and the
+	// autotuner's ceiling (0 = the default 8x cap; halved toward the
+	// configured window on every timeout, because go-back-N resends the
+	// whole window and a grown window multiplies that cost).
+	srtt, rttvar sim.Time
+	lastBytes    int64
+	winCeil      int
 }
 
 // BlockReason implements sim.BlockExplainer for deadlock diagnostics.
@@ -127,19 +142,55 @@ func (e *Env) relFor(dst int) *relSender {
 // window is full. Called from the sending process's context.
 func (e *Env) relSend(dst int, m Msg, bytes int64) {
 	s := e.relFor(dst)
-	cfg := e.rt.rel
 	// A failed channel never acks, so a full window blocks forever; the
 	// deadlock then surfaces alongside the channel's own error.
-	for len(s.window) >= cfg.Window {
+	for len(s.window) >= s.windowLimit() {
 		s.full.WaitExplained(e.p, s)
 	}
 	seq := s.next
 	s.next++
-	s.window = append(s.window, relFrame{m: m, bytes: bytes})
+	s.lastBytes = bytes
+	s.window = append(s.window, relFrame{m: m, bytes: bytes, sentAt: e.sh.k.Now()})
 	s.transmit(seq, s.window[len(s.window)-1], network.ClassData)
 	if !s.timerOn {
 		s.arm()
 	}
+}
+
+// windowLimit is the effective go-back-N window. Statically it is the
+// configured Window; an adaptive run with a round-trip estimate grows it
+// toward srtt/serialization so a regime-inflated round trip cannot strand
+// the pipe idle with every credit consumed. Growth is AIMD-guarded: the
+// ceiling starts at 8x the configured window and halves on every timeout
+// (see onTimeout), because go-back-N resends the whole window and a grown
+// window multiplies the cost of a spurious timeout. Under sustained
+// timeouts the limit decays back to the static window, so the adaptive
+// transport can never lose more to retransmission than the static one.
+func (s *relSender) windowLimit() int {
+	cfg := s.e.rt.rel
+	if !s.e.rt.adaptive || s.srtt == 0 {
+		return cfg.Window
+	}
+	per := 2 * sim.TransmissionTime(s.lastBytes+cfg.AckBytes, s.e.sh.net.Params().WANBandwidth)
+	if per <= 0 {
+		return cfg.Window
+	}
+	need := int(s.srtt/per) + 1
+	if need < cfg.Window {
+		return cfg.Window
+	}
+	if lim := s.ceiling(); need > lim {
+		return lim
+	}
+	return need
+}
+
+// ceiling is the autotuner's current cap (0 lazily means the default 8x).
+func (s *relSender) ceiling() int {
+	if s.winCeil == 0 {
+		return 8 * s.e.rt.rel.Window
+	}
+	return s.winCeil
 }
 
 // transmit puts one frame on the wire; delivery lands in the receiver's
@@ -164,6 +215,24 @@ func (s *relSender) transmit(seq int64, f relFrame, class network.MsgClass) {
 func (s *relSender) rto() sim.Time {
 	cfg := s.e.rt.rel
 	d := cfg.rtoBase
+	if s.srtt > 0 && s.e.rt.lossy {
+		// Adaptive runs raise the timeout to the Jacobson estimate when a
+		// regime has inflated the observed round trip past the static
+		// derivation — a diurnal peak would otherwise make every in-flight
+		// window time out "spuriously" and be resent in full. The static
+		// base stays as the floor: an underestimate (a sample taken in a
+		// trough) must never trigger earlier than the stationary analysis
+		// says is safe. srtt is only ever written under Options.Adaptive, so
+		// static runs take the historical path bit for bit. The estimate
+		// engages only when frames can actually be lost (injected faults or
+		// churn): under a delay-only regime nothing is ever dropped, a
+		// timeout is a harmless probe whose duplicate re-triggers a
+		// cumulative ack, and holding the channel quiet for a conservatively
+		// long estimate only idles it.
+		if est := s.srtt + 4*s.rttvar; est > d {
+			d = est
+		}
+	}
 	if len(s.window) > 0 {
 		p := s.e.sh.net.Params()
 		d += 2 * sim.TransmissionTime(s.window[0].bytes+cfg.AckBytes, p.WANBandwidth)
@@ -189,6 +258,23 @@ func (s *relSender) rto() sim.Time {
 	return d
 }
 
+// observeRTT folds one unambiguous ack round-trip sample into the Jacobson
+// estimator (RFC 6298 gains: 1/8 on the mean, 1/4 on the deviation). All in
+// integer virtual time, so the estimate is bit-reproducible.
+func (s *relSender) observeRTT(sample sim.Time) {
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		return
+	}
+	diff := sample - s.srtt
+	if diff < 0 {
+		diff = -diff
+	}
+	s.srtt += (sample - s.srtt) / 8
+	s.rttvar += (diff - s.rttvar) / 4
+}
+
 // mix64 is the splitmix64 finalizer (same construction package faults
 // uses): a cheap, well-distributed hash for the timeout spread.
 func mix64(x uint64) uint64 {
@@ -205,10 +291,15 @@ func mix64(x uint64) uint64 {
 // counter, which rides along as the event token — the timer path allocates
 // no closure.
 func (s *relSender) arm() {
+	k := s.e.sh.k
+	s.armAt(k.Now() + s.rto())
+}
+
+// armAt schedules the retransmission timer for an absolute time.
+func (s *relSender) armAt(at sim.Time) {
 	s.timerGen++
 	s.timerOn = true
-	k := s.e.sh.k
-	k.ScheduleCall(k.Now()+s.rto(), s, s.timerGen)
+	s.e.sh.k.ScheduleCall(at, s, s.timerGen)
 }
 
 // HandleEvent implements sim.EventHandler for the retransmission timer; the
@@ -225,6 +316,26 @@ func (s *relSender) onTimeout(gen uint64) {
 	s.timerOn = false
 	cfg := s.e.rt.rel
 	s.e.sh.relStats.Timeouts++
+	// Churn-aware hold-off: when the regime says an endpoint's whole
+	// cluster is churned out right now, retransmitting is futile (the
+	// gateway drops everything) and escalating the backoff just delays the
+	// repair past the rejoin. Re-arm for just after the scheduled rejoin
+	// instead, without burning a retry round — planned downtime is not
+	// congestion. The rejoin time is a pure function of the regime, so this
+	// stays deterministic at every worker count.
+	if hold, ok := s.churnHold(); ok {
+		s.armAt(hold)
+		return
+	}
+	if s.e.rt.adaptive {
+		// Multiplicative decrease on the window autotuner: a timeout means
+		// every grown credit is about to be resent in full.
+		if half := s.ceiling() / 2; half > cfg.Window {
+			s.winCeil = half
+		} else {
+			s.winCeil = cfg.Window
+		}
+	}
 	s.retries++
 	if s.retries > cfg.MaxRetries {
 		s.failed = true
@@ -235,9 +346,34 @@ func (s *relSender) onTimeout(gen uint64) {
 	}
 	for i := range s.window {
 		s.e.sh.relStats.Retransmits++
+		s.window[i].retx = true
 		s.transmit(s.base+int64(i), s.window[i], network.ClassRetrans)
 	}
 	s.arm()
+}
+
+// churnHold reports whether an adaptive sender should sit out a churn
+// window, and until when: the later rejoin time of the two endpoints'
+// clusters plus a deterministic per-channel spread (so every held channel
+// does not probe in the same instant after the rejoin).
+func (s *relSender) churnHold() (sim.Time, bool) {
+	rt := s.e.rt
+	if !rt.adaptive || !rt.regime.HasChurn() {
+		return 0, false
+	}
+	now := s.e.sh.k.Now()
+	up := now
+	if t := rt.regime.UpAt(rt.topo.ClusterOf(s.e.rank), now); t > up {
+		up = t
+	}
+	if t := rt.regime.UpAt(rt.topo.ClusterOf(s.dst), now); t > up {
+		up = t
+	}
+	if up == now {
+		return 0, false
+	}
+	h := mix64(uint64(s.e.rank)<<40 ^ uint64(s.dst)<<20 ^ uint64(s.base)<<8 ^ 0x5c)
+	return up + sim.Time(float64(s.e.rt.rel.rtoBase)*(float64(h>>11)/(1<<53))), true
 }
 
 // relDeliver is the receiving side: accept in-order frames, discard
@@ -284,6 +420,19 @@ func (e *Env) relAck(from int, cum int64) {
 	n := cum - s.base + 1
 	if n > int64(len(s.window)) {
 		n = int64(len(s.window)) // acks beyond the window cannot happen, but stay safe
+	}
+	if e.rt.adaptive {
+		// Sample the round trip from the newest acked frame that was never
+		// retransmitted (Karn's rule: a resent frame's ack is ambiguous).
+		for i := n - 1; i >= 0; i-- {
+			if s.window[i].retx {
+				continue
+			}
+			if sample := e.sh.k.Now() - s.window[i].sentAt; sample > 0 {
+				s.observeRTT(sample)
+			}
+			break
+		}
 	}
 	s.window = append(s.window[:0], s.window[n:]...)
 	s.base += n

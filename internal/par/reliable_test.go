@@ -273,3 +273,71 @@ func TestTraceUnderRetransmission(t *testing.T) {
 		}
 	}
 }
+
+// TestBackoffSpreadDesynchronizes: once the exponential backoff shift caps,
+// the retransmission cadence would be constant — and a constant cadence can
+// phase-lock with a periodic link outage, every probe landing inside the
+// blackout forever. The deterministic spread must therefore (a) differ
+// between channels, so a fleet of stuck senders does not probe in unison,
+// and (b) differ between consecutive rounds of one channel, so even a
+// single sender samples different outage phases. Both are properties of
+// rto() alone, probed here from inside a run so the senders are real.
+func TestBackoffSpreadDesynchronizes(t *testing.T) {
+	opts := Options{Params: network.DefaultParams(), Seed: 1}
+	opts.Transport.Enabled = true
+	checked := false
+	_, err := RunWith(relTopo(t), opts, func(e *Env) {
+		if e.Rank() != 0 {
+			return
+		}
+		checked = true
+		a, b := e.relFor(4), e.relFor(5)
+		if r1, r2 := a.rto(), b.rto(); r1 != r2 {
+			t.Errorf("unbacked-off channels disagree on the base timeout: %v vs %v", r1, r2)
+		}
+		// Drive both channels past the shift cap (10): same deterministic
+		// base, so any difference below is the spread.
+		a.retries, b.retries = 12, 12
+		ra, rb := a.rto(), b.rto()
+		if ra == rb {
+			t.Error("channels 0->4 and 0->5 retry on the same capped cadence (fleet phase-lock)")
+		}
+		a.retries = 13
+		if ra2 := a.rto(); ra2 == ra {
+			t.Error("consecutive retry rounds share one cadence (periodic-outage phase-lock)")
+		}
+		// The spread is a bounded fraction of the capped timeout: with an
+		// empty window the deterministic part is exactly rtoBase<<10, so the
+		// spread keeps the result in [floor, 2*floor).
+		if floor := e.rt.rel.rtoBase << 10; a.rto() < floor || a.rto() >= 2*floor {
+			t.Errorf("spread out of bounds: rto %v for base %v", a.rto(), floor)
+		}
+		a.retries, b.retries = 0, 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("probe job never ran on rank 0")
+	}
+}
+
+// TestBackoffEscapesPeriodicOutage: a blackout covering 60% of every period
+// leaves a narrow repair window; the spread must walk the retry probes into
+// it well inside the retry cap. (With a constant capped cadence this
+// configuration can starve: the repeating probe schedule keeps missing the
+// up-window it started out of phase with.)
+func TestBackoffEscapesPeriodicOutage(t *testing.T) {
+	res, err := RunWith(relTopo(t), faultyOpts(faults.Params{
+		OutagePeriod: 50 * sim.Millisecond, OutageDuration: 30 * sim.Millisecond, Seed: 17,
+	}), pingPong(t, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.OutageDropped == 0 {
+		t.Error("outages injected nothing")
+	}
+	if res.Transport.Timeouts == 0 {
+		t.Error("no timeouts under a 60% blackout duty cycle")
+	}
+}

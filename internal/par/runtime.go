@@ -9,6 +9,7 @@ import (
 
 	"twolayer/internal/faults"
 	"twolayer/internal/network"
+	"twolayer/internal/regime"
 	"twolayer/internal/sim"
 	"twolayer/internal/topology"
 	"twolayer/internal/trace"
@@ -26,6 +27,10 @@ type runtime struct {
 	recSeq int64        // global send counter feeding Msg.seq stamps
 	seed   int64
 	rel    *relConfig // nil unless the reliable transport is active
+
+	regime   *regime.Plan // nil unless a dynamic regime is active
+	adaptive bool         // Options.Adaptive; meaningful only with a regime
+	lossy    bool         // frames can actually be lost (faults or churn)
 
 	shards []*shard
 	pdes   bool // cluster-partitioned parallel mode
@@ -116,7 +121,25 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 	if err := opts.Faults.Validate(); err != nil {
 		return Result{}, fmt.Errorf("par: invalid fault parameters: %w", err)
 	}
-	rt := &runtime{topo: topo, tracer: opts.Trace, seed: opts.Seed}
+	if err := opts.Regime.Validate(); err != nil {
+		return Result{}, fmt.Errorf("par: invalid regime parameters: %w", err)
+	}
+	// Bind the regime once against the run's wide-area graph; the plan is
+	// immutable and every query a pure function of virtual time, so all
+	// shards of a parallel run can share the one instance. NewPlan's default
+	// clique is built with the same deterministic constructor the network
+	// uses, so edge IDs agree.
+	var rplan *regime.Plan
+	if opts.Regime.Enabled() {
+		var err error
+		rplan, err = regime.NewPlan(opts.Regime, opts.WAN, topo.Clusters())
+		if err != nil {
+			return Result{}, fmt.Errorf("par: invalid regime parameters: %w", err)
+		}
+	}
+	rt := &runtime{topo: topo, tracer: opts.Trace, seed: opts.Seed,
+		regime: rplan, adaptive: opts.Adaptive && rplan != nil,
+		lossy:  opts.Faults.Enabled() || (rplan != nil && rplan.HasChurn())}
 	if rec, ok := opts.Trace.(trace.OpSink); ok {
 		// Op-level recording relies on every Env.Send producing exactly one
 		// observer callback, in send-call order, with uniform link speeds.
@@ -126,6 +149,11 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 		// replay would silently diverge.
 		if opts.Faults.Enabled() || opts.Transport.Enabled {
 			return Result{}, errors.New("par: op-level recording requires a fault-free run without the reliable transport")
+		}
+		if rplan != nil {
+			// A regime's link speeds vary with virtual time; the replay model
+			// assumes stationary speeds per link.
+			return Result{}, errors.New("par: op-level recording requires stationary network conditions (no regime)")
 		}
 		if opts.Configure != nil {
 			return Result{}, errors.New("par: op-level recording cannot observe Configure network extensions")
@@ -138,7 +166,7 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 		}
 		rt.rec = rec
 	}
-	if opts.Faults.Enabled() || opts.Transport.Enabled {
+	if opts.Faults.Enabled() || opts.Transport.Enabled || (rplan != nil && rplan.NeedsTransport()) {
 		rt.rel = &relConfig{
 			Transport: opts.Transport.withDefaults(),
 			rtoBase:   rtoBase(opts.Params),
@@ -191,6 +219,8 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 				// function of (seed, link, message index, time).
 				net.SetFaults(faults.NewPlan(opts.Faults))
 			}
+			// The regime plan is immutable; all shards share the one binding.
+			net.SetRegime(rplan)
 			rt.shards[c] = sh
 		}
 	} else {
@@ -212,6 +242,7 @@ func runSim(ctx context.Context, topo *topology.Topology, opts Options, job Job)
 		if opts.Faults.Enabled() {
 			net.SetFaults(faults.NewPlan(opts.Faults))
 		}
+		net.SetRegime(rplan)
 		allRanks := make([]int, topo.Procs())
 		for r := range allRanks {
 			allRanks[r] = r
